@@ -1,0 +1,97 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* **Splitting batch size ℓ** (§5 uses ℓ=10 "by default"): sweep ℓ over a
+  collection with known-good split points and over a uniformly-similar
+  collection. Small ℓ reacts faster on mixed collections; large ℓ is
+  harmless when one strategy dominates.
+* **PageRank quantization** (our stand-in for the paper's floating-point
+  convergence tolerance): coarser quanta damp the instability cascade and
+  shrink differential work.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.algorithms import PageRank, Wcc
+from repro.bench.workloads import caut_collection, orkut_churn_collection
+from repro.core.executor import AnalyticsExecutor, ExecutionMode
+from repro.datasets import citations_like
+
+
+@pytest.fixture(scope="module")
+def caut():
+    return caut_collection(citations_like(num_nodes=400, num_edges=1600,
+                                          seed=0))
+
+
+@pytest.fixture(scope="module")
+def similar_churn():
+    return orkut_churn_collection(num_nodes=120, num_edges=600,
+                                  num_views=24, additions_per_view=2,
+                                  removals_per_view=2, seed=3)
+
+
+class TestBatchSizeAblation:
+    @pytest.mark.parametrize("batch_size", [1, 5, 10])
+    def test_caut_batch_sweep(self, benchmark, run_collection, caut,
+                              batch_size):
+        result = once(benchmark, lambda: run_collection(
+            Wcc(), caut, ExecutionMode.ADAPTIVE, batch_size=batch_size))
+        benchmark.extra_info["work"] = result.total_work
+        benchmark.extra_info["splits"] = len(result.split_points)
+
+    def test_shape_small_batches_win_on_mixed_collections(
+            self, benchmark, run_collection, caut):
+        def measure():
+            fine = run_collection(Wcc(), caut, ExecutionMode.ADAPTIVE,
+                                  batch_size=1)
+            coarse = run_collection(Wcc(), caut, ExecutionMode.ADAPTIVE,
+                                    batch_size=10)
+            return fine, coarse
+
+        fine, coarse = once(benchmark, measure)
+        # C_aut alternates regimes every 5 views; a 25-view collection
+        # needs fine-grained decisions to catch the slides.
+        assert fine.total_work <= coarse.total_work
+
+    def test_shape_batch_size_irrelevant_when_one_strategy_dominates(
+            self, benchmark, run_collection, similar_churn):
+        def measure():
+            return [run_collection(Wcc(), similar_churn,
+                                   ExecutionMode.ADAPTIVE,
+                                   batch_size=batch).total_work
+                    for batch in (1, 10)]
+
+        fine_work, coarse_work = once(benchmark, measure)
+        assert abs(fine_work - coarse_work) <= 0.2 * max(fine_work,
+                                                         coarse_work)
+
+
+class TestQuantizationAblation:
+    @pytest.mark.parametrize("quantum", [100, 1_000, 10_000])
+    def test_pr_quantum_sweep(self, benchmark, quantum, similar_churn):
+        def measure():
+            executor = AnalyticsExecutor()
+            return executor.run_on_collection(
+                PageRank(iterations=6, quantum=quantum), similar_churn,
+                mode=ExecutionMode.DIFF_ONLY, cost_metric="work")
+
+        result = once(benchmark, measure)
+        benchmark.extra_info["work"] = result.total_work
+        benchmark.extra_info["quantum"] = quantum
+
+    def test_shape_coarser_quanta_reduce_differential_work(
+            self, benchmark, similar_churn):
+        def measure():
+            executor = AnalyticsExecutor()
+            works = {}
+            for quantum in (100, 10_000):
+                result = executor.run_on_collection(
+                    PageRank(iterations=6, quantum=quantum),
+                    similar_churn, mode=ExecutionMode.DIFF_ONLY,
+                    cost_metric="work")
+                works[quantum] = result.total_work
+            return works
+
+        works = once(benchmark, measure)
+        assert works[10_000] < works[100]

@@ -1,0 +1,179 @@
+"""Engine micro-benchmarks and design-choice ablations.
+
+Not a paper table; these cover the ablations DESIGN.md calls out:
+
+* operator throughput (join, reduce, iterate) as engine baselines;
+* Christofides vs greedy vs exact ordering quality (approximation-ratio
+  ablation);
+* incremental-epoch cost vs first-epoch cost (the sharing primitive all
+  headline results rest on).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import once
+from repro.core.ordering.optimizer import order_collection
+from repro.differential import Dataflow
+
+
+def random_keyed_diff(n, keys, seed):
+    rng = random.Random(seed)
+    return {(rng.randrange(keys), rng.randrange(1000)): 1 for _ in range(n)}
+
+
+class TestOperatorThroughput:
+    def test_map_throughput(self, benchmark):
+        df = Dataflow()
+        source = df.new_input("in")
+        df.capture(source.map(lambda rec: (rec[0], rec[1] + 1)), "out")
+        diff = random_keyed_diff(20_000, 5_000, 0)
+        once(benchmark, lambda: df.step({"in": diff}))
+
+    def test_join_throughput(self, benchmark):
+        df = Dataflow()
+        a = df.new_input("a")
+        b = df.new_input("b")
+        df.capture(a.join(b), "out")
+        diff_a = random_keyed_diff(8_000, 2_000, 1)
+        diff_b = random_keyed_diff(8_000, 2_000, 2)
+        once(benchmark, lambda: df.step({"a": diff_a, "b": diff_b}))
+
+    def test_reduce_throughput(self, benchmark):
+        df = Dataflow()
+        source = df.new_input("in")
+        df.capture(source.min_by_key(), "out")
+        diff = random_keyed_diff(20_000, 4_000, 3)
+        once(benchmark, lambda: df.step({"in": diff}))
+
+    def test_iterate_bfs_throughput(self, benchmark):
+        df = Dataflow()
+        edges = df.new_input("edges")
+        roots = df.new_input("roots")
+
+        def body(inner, scope):
+            e = scope.enter(edges)
+            r = scope.enter(roots)
+            return inner.join(
+                e, lambda u, d, v: (v, d + 1)).concat(r).min_by_key()
+
+        df.capture(roots.iterate(body), "out")
+        rng = random.Random(4)
+        edge_diff = {}
+        while len(edge_diff) < 6_000:
+            u, v = rng.randrange(2_000), rng.randrange(2_000)
+            if u != v:
+                edge_diff[(u, v)] = 1
+        once(benchmark, lambda: df.step(
+            {"edges": edge_diff, "roots": {(0, 0): 1}}))
+
+
+class TestSharingPrimitive:
+    def test_incremental_epoch_cost(self, benchmark):
+        """The sharing primitive: after a full WCC epoch, a single-edge
+        update must cost a small fraction of the initial run."""
+        df = Dataflow()
+        edges = df.new_input("edges")
+        labels = df.new_input("labels")
+
+        def body(inner, scope):
+            e = scope.enter(edges)
+            seed = scope.enter(labels)
+            return inner.join(
+                e, lambda u, lbl, v: (v, lbl)).concat(seed).min_by_key()
+
+        df.capture(labels.iterate(body), "out")
+        rng = random.Random(5)
+        n = 1_000
+        edge_diff = {}
+        while len(edge_diff) < 8_000:
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                edge_diff[(u, v)] = 1
+                edge_diff[(v, u)] = 1
+        df.step({"edges": edge_diff, "labels": {(v, v): 1 for v in range(n)}})
+        first_epoch_work = df.meter.total_work
+
+        def one_update():
+            before = df.meter.total_work
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v or (u, v) in edge_diff:
+                return 0
+            df.step({"edges": {(u, v): 1, (v, u): 1}})
+            return df.meter.total_work - before
+
+        update_work = once(benchmark, one_update)
+        assert update_work < first_epoch_work / 20
+
+
+class TestIdenticalViewsRobustness:
+    """§5's best-case bound: on a collection of k IDENTICAL views,
+    differential execution costs ~one run while scratch costs k runs —
+    the speedup factor must grow with k."""
+
+    @pytest.mark.parametrize("k", [4, 8, 16])
+    def test_speedup_grows_with_view_count(self, benchmark, run_collection,
+                                           k):
+        from repro.algorithms import Wcc
+        from repro.core.executor import ExecutionMode
+        from repro.core.view_collection import collection_from_diffs
+
+        rng = random.Random(0)
+        edges = {}
+        while len(edges) < 500:
+            u, v = rng.randrange(150), rng.randrange(150)
+            if u != v:
+                edges[(len(edges), u, v, 1)] = 1
+        diffs = [dict(edges)] + [{} for _ in range(k - 1)]
+        collection = collection_from_diffs(f"identical-{k}", diffs)
+
+        def measure():
+            diff = run_collection(Wcc(), collection,
+                                  ExecutionMode.DIFF_ONLY)
+            scratch = run_collection(Wcc(), collection,
+                                     ExecutionMode.SCRATCH)
+            return scratch.total_work / max(1, diff.total_work)
+
+        factor = once(benchmark, measure)
+        benchmark.extra_info["factor"] = factor
+        # All views after the first are free differentially.
+        assert factor > 0.9 * k
+
+
+class TestOrderingAblation:
+    @pytest.mark.parametrize("method", ["christofides", "greedy", "random"])
+    def test_ordering_method_cost(self, benchmark, method):
+        rng = np.random.default_rng(0)
+        matrix = rng.random((4_000, 40)) < 0.45
+        result = once(benchmark, lambda: order_collection(
+            matrix, method=method, seed=1))
+        benchmark.extra_info["diff_count"] = result.diff_count
+
+    def test_shape_quality_ranking(self, benchmark):
+        """Christofides should (at least weakly) dominate greedy, which
+        should dominate the average random order, and stay within 3x of
+        exact on small instances."""
+        rng = np.random.default_rng(1)
+
+        def measure():
+            small = rng.random((300, 7)) < 0.4
+            big = rng.random((2_000, 24)) < 0.45
+            quality = {
+                "chr": order_collection(big, method="christofides").diff_count,
+                "greedy": order_collection(big, method="greedy").diff_count,
+                "random": int(np.mean([
+                    order_collection(big, method="random", seed=s).diff_count
+                    for s in range(5)])),
+                "chr_small": order_collection(
+                    small, method="christofides").diff_count,
+                "exact_small": order_collection(
+                    small, method="exact").diff_count,
+            }
+            return quality
+
+        quality = once(benchmark, measure)
+        assert quality["chr"] <= quality["greedy"] * 1.1
+        assert quality["chr"] < quality["random"]
+        assert quality["chr_small"] <= 3 * quality["exact_small"]

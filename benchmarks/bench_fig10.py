@@ -1,0 +1,61 @@
+"""Figure 10 (§7.6): distributed scalability, 1 -> 12 simulated machines.
+
+Shape asserted: simulated parallel time decreases monotonically with the
+machine count and the 4-machine speedup is material. (Perfect linearity
+needs cluster-scale supersteps; see EXPERIMENTS.md.)
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.algorithms import Bfs, Wcc
+from repro.bench.workloads import scalability_collection
+from repro.core.executor import ExecutionMode
+
+MACHINES = (1, 2, 4, 8, 12)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph, collection = scalability_collection(num_nodes=300,
+                                               num_edges=1800)
+    source = min(edge.src for edge in graph.edges)
+    return graph, collection, source
+
+
+@pytest.mark.parametrize("machines", MACHINES)
+def test_wcc_scaling(benchmark, run_collection, workload, machines):
+    _graph, collection, _source = workload
+    result = once(benchmark, lambda: run_collection(
+        Wcc(), collection, ExecutionMode.DIFF_ONLY, workers=machines))
+    benchmark.extra_info["parallel_time"] = result.total_parallel_time
+    benchmark.extra_info["machines"] = machines
+
+
+@pytest.mark.parametrize("machines", (1, 4, 12))
+def test_bfs_scaling(benchmark, run_collection, workload, machines):
+    _graph, collection, source = workload
+    result = once(benchmark, lambda: run_collection(
+        Bfs(source=source), collection, ExecutionMode.DIFF_ONLY,
+        workers=machines))
+    benchmark.extra_info["parallel_time"] = result.total_parallel_time
+    benchmark.extra_info["machines"] = machines
+
+
+def test_shape_monotone_speedup(benchmark, run_collection, workload):
+    _graph, collection, _source = workload
+
+    def measure():
+        times = {}
+        for machines in MACHINES:
+            result = run_collection(Wcc(), collection,
+                                    ExecutionMode.DIFF_ONLY,
+                                    workers=machines)
+            times[machines] = result.total_parallel_time
+        return times
+
+    times = once(benchmark, measure)
+    ordered = [times[m] for m in MACHINES]
+    assert ordered == sorted(ordered, reverse=True)
+    assert times[1] / times[4] > 1.4
+    assert times[1] / times[12] > times[1] / times[4]

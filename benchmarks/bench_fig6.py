@@ -1,0 +1,77 @@
+"""Figure 6 (§7.2): diff-only benefits on expanding-window collections.
+
+Shape asserted: for the stable algorithms, diff-only beats scratch on
+C_sim, with a larger factor for the smaller window (more, more-similar
+views); adaptive lands within ~25% of the better strategy.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.algorithms import Bfs, Scc, Wcc
+from repro.bench.workloads import csim_collection, default_so_graph
+from repro.core.executor import ExecutionMode
+
+DAY = 86400
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return default_so_graph(scale=0.6)
+
+
+@pytest.fixture(scope="module")
+def csim_narrow(graph):
+    return csim_collection(graph, 91 * DAY, max_views=14, name="csim-3mo")
+
+
+@pytest.fixture(scope="module")
+def csim_wide(graph):
+    return csim_collection(graph, 2 * 365 * DAY, max_views=4,
+                           name="csim-2y")
+
+
+@pytest.mark.parametrize("mode", [ExecutionMode.DIFF_ONLY,
+                                  ExecutionMode.SCRATCH,
+                                  ExecutionMode.ADAPTIVE])
+@pytest.mark.parametrize("factory", [Wcc, Bfs, Scc],
+                         ids=["WCC", "BFS", "SCC"])
+def test_csim_narrow(benchmark, run_collection, csim_narrow, factory, mode):
+    result = once(benchmark,
+                  lambda: run_collection(factory(), csim_narrow, mode))
+    benchmark.extra_info["work"] = result.total_work
+
+
+def test_shape_diff_wins_and_factor_grows(benchmark, run_collection,
+                                          csim_narrow, csim_wide):
+    def measure():
+        factors = {}
+        for label, collection in (("narrow", csim_narrow),
+                                  ("wide", csim_wide)):
+            diff = run_collection(Wcc(), collection,
+                                  ExecutionMode.DIFF_ONLY)
+            scratch = run_collection(Wcc(), collection,
+                                     ExecutionMode.SCRATCH)
+            factors[label] = scratch.total_work / max(1, diff.total_work)
+        return factors
+
+    factors = once(benchmark, measure)
+    assert factors["narrow"] > 1.0
+    assert factors["wide"] > 1.0
+    # Smaller window => more similar views => bigger diff-only benefit.
+    assert factors["narrow"] > factors["wide"]
+
+
+def test_shape_adaptive_tracks_best(benchmark, run_collection, csim_narrow):
+    def measure():
+        results = {
+            mode: run_collection(Bfs(), csim_narrow, mode)
+            for mode in ExecutionMode
+        }
+        return results
+
+    results = once(benchmark, measure)
+    best = min(results[ExecutionMode.DIFF_ONLY].total_work,
+               results[ExecutionMode.SCRATCH].total_work)
+    adaptive = results[ExecutionMode.ADAPTIVE].total_work
+    assert adaptive <= best * 1.25

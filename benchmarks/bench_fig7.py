@@ -1,0 +1,77 @@
+"""Figure 7 (§7.2): scratch benefits on non-overlapping collections.
+
+Shape asserted: on fully disjoint windows scratch wins, but boundedly
+(differential's worst case is ~2x: undo + redo), and the factor does not
+grow with the number of views — the §5 robustness property.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.algorithms import Bfs, Wcc
+from repro.bench.workloads import cno_collection, default_so_graph
+from repro.core.executor import ExecutionMode
+
+DAY = 86400
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return default_so_graph(scale=0.6)
+
+
+@pytest.fixture(scope="module")
+def cno_many(graph):
+    return cno_collection(graph, 365 * DAY, max_views=8, name="cno-1y")
+
+
+@pytest.fixture(scope="module")
+def cno_few(graph):
+    return cno_collection(graph, 3 * 365 * DAY, max_views=3, name="cno-3y")
+
+
+@pytest.mark.parametrize("mode", [ExecutionMode.DIFF_ONLY,
+                                  ExecutionMode.SCRATCH,
+                                  ExecutionMode.ADAPTIVE])
+@pytest.mark.parametrize("factory", [Wcc, Bfs], ids=["WCC", "BFS"])
+def test_cno_many(benchmark, run_collection, cno_many, factory, mode):
+    result = once(benchmark,
+                  lambda: run_collection(factory(), cno_many, mode))
+    benchmark.extra_info["work"] = result.total_work
+
+
+def test_shape_scratch_wins_boundedly(benchmark, run_collection, cno_many,
+                                      cno_few):
+    def measure():
+        factors = {}
+        for label, collection in (("many", cno_many), ("few", cno_few)):
+            diff = run_collection(Wcc(), collection,
+                                  ExecutionMode.DIFF_ONLY)
+            scratch = run_collection(Wcc(), collection,
+                                     ExecutionMode.SCRATCH)
+            factors[label] = diff.total_work / max(1, scratch.total_work)
+        return factors
+
+    factors = once(benchmark, measure)
+    # Scratch wins on disjoint views...
+    assert factors["many"] > 1.0
+    # ...but boundedly (the paper argues ~2x and measures <=2.5x; our
+    # pure-Python trace maintenance carries a larger constant, see
+    # EXPERIMENTS.md)...
+    assert factors["many"] < 6.0
+    # ...and crucially the disadvantage grows far sublinearly in the view
+    # count: 8 views vs 3 views must not cost ~8/3 the factor.
+    assert factors["many"] / factors["few"] < 8 / 3
+
+
+def test_shape_adaptive_switches_to_scratch(benchmark, run_collection,
+                                            cno_many):
+    def measure():
+        return run_collection(Wcc(), cno_many, ExecutionMode.ADAPTIVE,
+                              batch_size=1)
+
+    result = once(benchmark, measure)
+    counts = result.strategy_counts()
+    # On disjoint views the optimizer should pick scratch for most views
+    # after the two warm-up views.
+    assert counts.get("scratch", 0) >= len(result.views) - 2

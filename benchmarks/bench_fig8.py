@@ -1,0 +1,79 @@
+"""Figure 8 (§7.4): runtime benefit of collection ordering, LJ-like graph.
+
+Shape asserted: running WCC/BFS/MPSP diff-only over the optimizer's order
+costs less than over a random order; adaptive splitting softens the random
+orders (robustness) without erasing the optimizer's advantage.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.algorithms import Bfs, Mpsp, Wcc
+from repro.bench.experiments.fig8 import mpsp_pairs
+from repro.bench.workloads import default_lj_graph, perturbation_collection
+from repro.core.executor import ExecutionMode
+
+CONFIG = (5, 2)  # scaled-down counterpart of the paper's 7C4/10C5
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return default_lj_graph(scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def ordered(graph):
+    return perturbation_collection(graph, *CONFIG,
+                                   order_method="christofides")
+
+
+@pytest.fixture(scope="module")
+def shuffled(graph):
+    return perturbation_collection(graph, *CONFIG, order_method="random",
+                                   seed=1)
+
+
+def algorithms(graph):
+    return [("WCC", Wcc), ("BFS", Bfs),
+            ("MPSP", lambda: Mpsp(mpsp_pairs(graph)))]
+
+
+@pytest.mark.parametrize("ordering", ["ordered", "shuffled"])
+@pytest.mark.parametrize("algo", ["WCC", "BFS", "MPSP"])
+def test_diff_only(benchmark, request, run_collection, graph, ordering,
+                   algo):
+    collection = request.getfixturevalue(ordering)
+    factory = dict(algorithms(graph))[algo]
+    result = once(benchmark, lambda: run_collection(
+        factory(), collection, ExecutionMode.DIFF_ONLY))
+    benchmark.extra_info["work"] = result.total_work
+
+
+def test_shape_ordering_speeds_up_all_algorithms(benchmark, run_collection,
+                                                 graph, ordered, shuffled):
+    def measure():
+        out = {}
+        for name, factory in algorithms(graph):
+            ordered_run = run_collection(factory(), ordered,
+                                         ExecutionMode.DIFF_ONLY)
+            shuffled_run = run_collection(factory(), shuffled,
+                                          ExecutionMode.DIFF_ONLY)
+            out[name] = (ordered_run.total_work, shuffled_run.total_work)
+        return out
+
+    results = once(benchmark, measure)
+    for name, (ordered_work, shuffled_work) in results.items():
+        assert ordered_work < shuffled_work, name
+
+
+def test_shape_adaptive_softens_bad_orders(benchmark, run_collection,
+                                           graph, shuffled):
+    def measure():
+        diff_only = run_collection(Wcc(), shuffled,
+                                   ExecutionMode.DIFF_ONLY)
+        adaptive = run_collection(Wcc(), shuffled, ExecutionMode.ADAPTIVE,
+                                  batch_size=1)
+        return diff_only, adaptive
+
+    diff_only, adaptive = once(benchmark, measure)
+    assert adaptive.total_work <= diff_only.total_work * 1.1

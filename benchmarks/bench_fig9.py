@@ -1,0 +1,54 @@
+"""Figure 9 (§7.4): ordering benefits on the WTC-like graph (same grid as
+Figure 8 / bench_fig8)."""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.algorithms import Bfs, Wcc
+from repro.bench.workloads import default_wtc_graph, perturbation_collection
+from repro.core.executor import ExecutionMode
+
+CONFIG = (5, 2)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return default_wtc_graph(scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def ordered(graph):
+    return perturbation_collection(graph, *CONFIG,
+                                   order_method="christofides")
+
+
+@pytest.fixture(scope="module")
+def shuffled(graph):
+    return perturbation_collection(graph, *CONFIG, order_method="random",
+                                   seed=2)
+
+
+@pytest.mark.parametrize("ordering", ["ordered", "shuffled"])
+@pytest.mark.parametrize("algo", [Wcc, Bfs], ids=["WCC", "BFS"])
+@pytest.mark.parametrize("mode", [ExecutionMode.DIFF_ONLY,
+                                  ExecutionMode.ADAPTIVE],
+                         ids=["no-adapt", "with-adapt"])
+def test_grid(benchmark, request, run_collection, ordering, algo, mode):
+    collection = request.getfixturevalue(ordering)
+    result = once(benchmark, lambda: run_collection(
+        algo(), collection, mode, batch_size=1))
+    benchmark.extra_info["work"] = result.total_work
+
+
+def test_shape_ordering_helps_wtc(benchmark, run_collection, ordered,
+                                  shuffled):
+    def measure():
+        ordered_run = run_collection(Wcc(), ordered,
+                                     ExecutionMode.DIFF_ONLY)
+        shuffled_run = run_collection(Wcc(), shuffled,
+                                      ExecutionMode.DIFF_ONLY)
+        return ordered_run, shuffled_run
+
+    ordered_run, shuffled_run = once(benchmark, measure)
+    assert ordered_run.total_work < shuffled_run.total_work
+    assert ordered.total_diffs < shuffled.total_diffs

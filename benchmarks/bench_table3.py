@@ -1,0 +1,76 @@
+"""Table 3 (§7.3): adaptive splitting on the citation collections.
+
+Shape asserted: adaptive matches (within tolerance) or beats the better of
+diff-only/scratch on C_sl and C_ex-sh-sl, and on C_aut it splits at the
+year-window slides and beats diff-only.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.algorithms import Bfs, Wcc
+from repro.bench.workloads import (
+    caut_collection,
+    cex_sh_sl_collection,
+    csl_collection,
+    default_pc_graph,
+)
+from repro.core.executor import ExecutionMode
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return default_pc_graph(scale=1.0)
+
+
+@pytest.fixture(scope="module")
+def collections(graph):
+    return {
+        "csl": csl_collection(graph),
+        "cex": cex_sh_sl_collection(graph),
+        "caut": caut_collection(graph),
+    }
+
+
+@pytest.mark.parametrize("name", ["csl", "cex", "caut"])
+@pytest.mark.parametrize("mode", [ExecutionMode.DIFF_ONLY,
+                                  ExecutionMode.SCRATCH,
+                                  ExecutionMode.ADAPTIVE])
+def test_wcc(benchmark, run_collection, collections, name, mode):
+    result = once(benchmark, lambda: run_collection(
+        Wcc(), collections[name], mode, batch_size=1))
+    benchmark.extra_info["work"] = result.total_work
+    benchmark.extra_info["splits"] = len(result.split_points)
+
+
+def test_shape_adaptive_competitive_everywhere(benchmark, run_collection,
+                                               collections):
+    def measure():
+        outcome = {}
+        for name, collection in collections.items():
+            runs = {mode: run_collection(Bfs(), collection, mode,
+                                         batch_size=1)
+                    for mode in ExecutionMode}
+            outcome[name] = runs
+        return outcome
+
+    outcome = once(benchmark, measure)
+    for name, runs in outcome.items():
+        best = min(runs[ExecutionMode.DIFF_ONLY].total_work,
+                   runs[ExecutionMode.SCRATCH].total_work)
+        adaptive = runs[ExecutionMode.ADAPTIVE].total_work
+        # "almost matches or outperforms the better of the two" — allow
+        # the warm-up views' cost as tolerance.
+        assert adaptive <= best * 1.35, name
+
+
+def test_shape_caut_splits_at_year_slides(benchmark, run_collection,
+                                          collections):
+    def measure():
+        return run_collection(Wcc(), collections["caut"],
+                              ExecutionMode.ADAPTIVE, batch_size=1)
+
+    result = once(benchmark, measure)
+    assert result.split_points, "expected splits on C_aut"
+    at_slides = [s for s in result.split_points if s % 5 == 0]
+    assert len(at_slides) >= len(result.split_points) / 2

@@ -1,0 +1,71 @@
+"""Table 4 (§7.4): #diffs and collection creation time, optimizer order vs
+random orders, on the LJ-like and WTC-like perturbation collections.
+
+Shape asserted: the Christofides order produces several-fold fewer
+differences than random orders; the ordering overhead keeps collection
+creation within a small constant factor of the unordered pipeline.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.bench.workloads import (
+    default_lj_graph,
+    default_wtc_graph,
+    perturbation_collection,
+)
+
+
+@pytest.fixture(scope="module")
+def lj_graph():
+    return default_lj_graph(scale=1.0)
+
+
+@pytest.fixture(scope="module")
+def wtc_graph():
+    return default_wtc_graph(scale=1.0)
+
+
+class TestLjLike:
+    @pytest.mark.parametrize("config", [(10, 5), (7, 4)],
+                             ids=["10C5", "7C4"])
+    def test_materialize_ordered(self, benchmark, lj_graph, config):
+        top_n, k = config
+        collection = once(benchmark, lambda: perturbation_collection(
+            lj_graph, top_n, k, order_method="christofides"))
+        benchmark.extra_info["total_diffs"] = collection.total_diffs
+        benchmark.extra_info["views"] = collection.num_views
+
+    @pytest.mark.parametrize("config", [(10, 5), (7, 4)],
+                             ids=["10C5", "7C4"])
+    def test_materialize_random(self, benchmark, lj_graph, config):
+        top_n, k = config
+        collection = once(benchmark, lambda: perturbation_collection(
+            lj_graph, top_n, k, order_method="random", seed=1))
+        benchmark.extra_info["total_diffs"] = collection.total_diffs
+
+
+@pytest.mark.parametrize("graph_fixture,config", [
+    ("lj_graph", (10, 5)), ("lj_graph", (7, 4)),
+    ("wtc_graph", (10, 5)), ("wtc_graph", (7, 4)),
+], ids=["LJ-10C5", "LJ-7C4", "WTC-10C5", "WTC-7C4"])
+def test_shape_ordering_reduces_diffs(benchmark, request, graph_fixture,
+                                      config):
+    graph = request.getfixturevalue(graph_fixture)
+    top_n, k = config
+
+    def measure():
+        ordered = perturbation_collection(graph, top_n, k,
+                                          order_method="christofides")
+        randoms = [perturbation_collection(graph, top_n, k,
+                                           order_method="random", seed=s)
+                   for s in (1, 2, 3)]
+        return ordered, randoms
+
+    ordered, randoms = once(benchmark, measure)
+    for random_run in randoms:
+        assert ordered.total_diffs < random_run.total_diffs
+    best_random = min(r.total_diffs for r in randoms)
+    benchmark.extra_info["reduction"] = best_random / ordered.total_diffs
+    # The paper sees 2.9x-16.8x; require a clearly material reduction.
+    assert best_random / ordered.total_diffs > 1.5

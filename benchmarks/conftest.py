@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures and helpers.
+
+Every benchmark runs its workload exactly once per measurement
+(``rounds=1``): the workloads are deterministic, long enough to dominate
+timer noise, and repeat-running multi-second collection executions would
+make the suite unusably slow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.executor import AnalyticsExecutor, ExecutionMode
+
+
+def once(benchmark, func):
+    """Run ``func`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, rounds=1, iterations=1,
+                              warmup_rounds=0)
+
+
+@pytest.fixture
+def run_collection():
+    """Callable: run a computation over a collection in one mode."""
+
+    def _run(computation, collection, mode, workers=1, batch_size=10):
+        executor = AnalyticsExecutor(workers=workers)
+        return executor.run_on_collection(
+            computation, collection, mode=mode, batch_size=batch_size,
+            cost_metric="work")
+
+    return _run
+
+
+MODES = ExecutionMode

@@ -1,0 +1,55 @@
+"""Adaptive collection splitting in action (paper §5 and Table 3).
+
+Builds the paper's C_aut collection over a citation graph: the Cartesian
+product of non-overlapping 5-year windows with an expanding author-count
+window. Inside a year window the views grow by additions only (great for
+differential execution); at every year slide the view changes wholesale (a
+natural point to restart from scratch). The adaptive optimizer discovers
+those split points from runtime observations alone.
+
+Run:  python examples/adaptive_splitting.py
+"""
+
+from repro.algorithms import Wcc
+from repro.bench.workloads import caut_collection
+from repro.core.executor import AnalyticsExecutor, ExecutionMode
+from repro.datasets import citations_like
+
+
+def main() -> None:
+    graph = citations_like(num_nodes=500, num_edges=2000, seed=9)
+    collection = caut_collection(graph)
+    print(f"graph: {graph!r}")
+    print(f"collection C_aut: {collection.num_views} views "
+          f"(5 year-windows x 5 author-count windows)")
+    print(f"view sizes: {collection.view_sizes}")
+    print(f"diff sizes: {collection.diff_sizes}")
+
+    executor = AnalyticsExecutor()
+    runs = {}
+    for mode in ExecutionMode:
+        runs[mode] = executor.run_on_collection(
+            Wcc(), collection, mode=mode, batch_size=1, cost_metric="work")
+
+    print(f"\n{'strategy':12} {'work units':>12} {'splits':>7}")
+    for mode, result in runs.items():
+        print(f"{mode.value:12} {result.total_work:>12} "
+              f"{len(result.split_points):>7}")
+
+    adaptive = runs[ExecutionMode.ADAPTIVE]
+    print(f"\nadaptive split points (view indices): "
+          f"{adaptive.split_points}")
+    print("year-window slides sit at indices 5, 10, 15, 20 — the optimizer "
+          "should split there\nand run the addition-only author expansions "
+          "differentially.")
+
+    per_view = ["S" if v.strategy.value == "scratch" else "d"
+                for v in adaptive.views]
+    print("\nper-view strategy (S = from scratch, d = differential):")
+    for start in range(0, len(per_view), 5):
+        window = collection.view_names[start].split("x")[0]
+        print(f"  years {window:10} {' '.join(per_view[start:start + 5])}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Contingency / perturbation analysis (paper Example 2 and §7.4).
+
+A resilience analyst studies a communication network with known
+communities: every failure scenario removes a subset of the largest
+communities, and the analyst asks how connectivity degrades under each
+scenario. There are C(N, k) scenarios and no obvious order to process them
+in — exactly the setting where Graphsurge's collection ordering optimizer
+(Christofides over the view-distance clique) pays off.
+
+Run:  python examples/contingency_analysis.py
+"""
+
+from repro.algorithms import Wcc
+from repro.bench.workloads import perturbation_collection
+from repro.core.executor import AnalyticsExecutor, ExecutionMode
+from repro.datasets import community_graph
+from repro.datasets.community import community_sizes
+from repro.graph.edge_stream import EdgeStream
+
+
+def main() -> None:
+    graph = community_graph(num_nodes=200, num_communities=8,
+                            intra_edges=800, background_edges=30, seed=7,
+                            name="powergrid")
+    print(f"generated {graph!r}")
+    print("largest communities:",
+          ", ".join(f"c{c} ({size} nodes)"
+                    for c, size in community_sizes(graph)[:5]))
+
+    # Every failure scenario removes 2 of the 6 largest communities.
+    ordered = perturbation_collection(graph, top_n=6, k=2,
+                                      order_method="christofides")
+    unordered = perturbation_collection(graph, top_n=6, k=2,
+                                        order_method="random", seed=1)
+    print(f"\n{ordered.num_views} failure scenarios; edge differences to "
+          f"process: optimizer order {ordered.total_diffs} vs random order "
+          f"{unordered.total_diffs} "
+          f"({unordered.total_diffs / ordered.total_diffs:.1f}x fewer)")
+
+    executor = AnalyticsExecutor()
+    run = executor.run_on_collection(
+        Wcc(), ordered, mode=ExecutionMode.DIFF_ONLY, keep_outputs=True,
+        cost_metric="work")
+    baseline = executor.run_on_view(Wcc(), EdgeStream.from_graph(graph))
+    healthy_users = len(baseline.vertex_map())
+    healthy_components = len(set(baseline.vertex_map().values()))
+
+    print(f"\nhealthy grid: {healthy_users} connected users in "
+          f"{healthy_components} component(s)")
+    print("worst failure scenarios (fragmentation + stranded users):")
+    impact = []
+    for view_result in run.views:
+        component_of = view_result.vertex_map()
+        labels = list(component_of.values())
+        components = len(set(labels))
+        largest = max(labels.count(lbl) for lbl in set(labels)) \
+            if labels else 0
+        stranded = healthy_users - len(component_of)
+        impact.append((components, stranded, largest,
+                       view_result.view_name))
+    impact.sort(key=lambda row: (-row[0], -row[1]))
+    for components, stranded, largest, name in impact[:5]:
+        print(f"  {name:14} -> {components:2} components, "
+              f"{stranded:3} users cut off, largest island {largest}")
+
+    # The paper's §7.4 configuration: ordering benefit with splitting off.
+    random_run = executor.run_on_collection(
+        Wcc(), unordered, mode=ExecutionMode.DIFF_ONLY, cost_metric="work")
+    print(f"\nanalysis cost (differential execution): optimizer order "
+          f"{run.total_work} work units, random order "
+          f"{random_run.total_work} "
+          f"({random_run.total_work / run.total_work:.2f}x more)")
+
+
+if __name__ == "__main__":
+    main()

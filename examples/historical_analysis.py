@@ -1,0 +1,76 @@
+"""Historical analysis of a temporal network (paper Example 1).
+
+A network scientist studies how the connectivity of a Stack-Overflow-like
+interaction graph evolved: one view per half-year of history (each view
+containing everything up to its cutoff), weakly connected components and
+BFS reachability computed across all views — differentially, so each
+additional snapshot costs only its increment.
+
+Run:  python examples/historical_analysis.py
+"""
+
+from repro.algorithms import Bfs, Wcc
+from repro.core.executor import AnalyticsExecutor, ExecutionMode
+from repro.core.view_collection import ViewCollectionDefinition
+from repro.datasets import stackoverflow_like
+from repro.datasets.temporal import ts_after
+from repro.gvdl.parser import parse
+
+
+def cutoff_views(num_years: float, step_years: float):
+    """One expanding view per `step_years` of history."""
+    views = []
+    steps = int(num_years / step_years)
+    for index in range(1, steps + 1):
+        bound = ts_after(years=index * step_years)
+        predicate = parse(
+            f"create view v on so edges where ts < {bound}").predicate
+        label = f"y{index * step_years:.1f}"
+        views.append((label, predicate))
+    return tuple(views)
+
+
+def main() -> None:
+    graph = stackoverflow_like(num_nodes=250, num_edges=1200, seed=42)
+    print(f"generated {graph!r}")
+
+    definition = ViewCollectionDefinition(
+        "history", "so", cutoff_views(num_years=8, step_years=0.5))
+    collection = definition.materialize(graph)
+    print(f"materialized {collection.num_views} snapshots; "
+          f"view sizes {collection.view_sizes[:6]} ... "
+          f"{collection.view_sizes[-1]} edges")
+
+    executor = AnalyticsExecutor()
+    wcc = executor.run_on_collection(
+        Wcc(), collection, mode=ExecutionMode.DIFF_ONLY,
+        keep_outputs=True, cost_metric="work")
+    print("\nconnectivity history (WCC):")
+    print(f"{'snapshot':>10} {'edges':>7} {'components':>11} "
+          f"{'largest':>8} {'work':>8}")
+    for index, view_result in enumerate(wcc.views):
+        labels = list(view_result.vertex_map().values())
+        components = len(set(labels))
+        largest = max(labels.count(lbl) for lbl in set(labels)) if labels else 0
+        print(f"{view_result.view_name:>10} "
+              f"{collection.view_sizes[index]:>7} {components:>11} "
+              f"{largest:>8} {view_result.work:>8}")
+
+    scratch = executor.run_on_collection(
+        Wcc(), collection, mode=ExecutionMode.SCRATCH, cost_metric="work")
+    print(f"\ndifferential sharing: {wcc.total_work} work vs "
+          f"{scratch.total_work} from scratch "
+          f"({scratch.total_work / wcc.total_work:.1f}x saved)")
+
+    source = min(edge.src for edge in graph.edges)
+    bfs = executor.run_on_collection(
+        Bfs(source=source), collection, mode=ExecutionMode.DIFF_ONLY,
+        keep_outputs=True)
+    reach_first = len(bfs.views[0].vertex_map())
+    reach_last = len(bfs.views[-1].vertex_map())
+    print(f"\nreachability from user {source}: {reach_first} users in the "
+          f"first snapshot -> {reach_last} in the last")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Graphsurge reproduction — graph analytics on view collections.
+
+This library reproduces *Graphsurge: Graph Analytics on View Collections
+Using Differential Computation* (Sahu & Salihoglu, SIGMOD 2021) in Python,
+including the Differential Dataflow substrate it is built on.
+
+Public surface:
+
+* :class:`repro.core.system.Graphsurge` — the system facade: load graphs,
+  run GVDL statements, execute analytics on views and view collections.
+* :mod:`repro.differential` — the differential-computation engine.
+* :mod:`repro.algorithms` — WCC, SCC, BFS, PageRank, Bellman-Ford, MPSP as
+  differential computations.
+* :mod:`repro.datasets` — seeded synthetic graph generators shaped like the
+  paper's datasets.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graphsurge",
+    "GraphComputation",
+    "ExecutionMode",
+    "PropertyGraph",
+    "__version__",
+]
+
+_LAZY = {
+    "Graphsurge": ("repro.core.system", "Graphsurge"),
+    "GraphComputation": ("repro.core.computation", "GraphComputation"),
+    "ExecutionMode": ("repro.core.executor", "ExecutionMode"),
+    "PropertyGraph": ("repro.graph.property_graph", "PropertyGraph"),
+}
+
+
+def __getattr__(name):
+    """Lazily resolve the facade exports (PEP 562)."""
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target[0])
+    value = getattr(module, target[1])
+    globals()[name] = value
+    return value

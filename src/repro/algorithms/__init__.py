@@ -1,0 +1,42 @@
+"""The paper's five evaluation computations, plus Bellman-Ford (§2/§5).
+
+All are implemented against the :class:`repro.core.computation.GraphComputation`
+API as ordinary differential dataflow programs — no algorithm-specific
+maintenance logic. :mod:`repro.algorithms.reference` provides plain-Python
+implementations used to validate the dataflow results in tests.
+"""
+
+from repro.algorithms.bfs import Bfs
+from repro.algorithms.bellman_ford import BellmanFord
+from repro.algorithms.clustering import ClusteringCoefficient
+from repro.algorithms.degrees import MaxDegree, OutDegrees
+from repro.algorithms.kcore import KCore
+from repro.algorithms.mpsp import Mpsp
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.scc import Scc
+from repro.algorithms.triangles import Triangles
+from repro.algorithms.vertex_program import (
+    VertexBfs,
+    VertexProgram,
+    VertexSssp,
+    VertexWcc,
+)
+from repro.algorithms.wcc import Wcc
+
+__all__ = [
+    "Bfs",
+    "BellmanFord",
+    "ClusteringCoefficient",
+    "KCore",
+    "MaxDegree",
+    "Mpsp",
+    "OutDegrees",
+    "PageRank",
+    "Scc",
+    "Triangles",
+    "VertexBfs",
+    "VertexProgram",
+    "VertexSssp",
+    "VertexWcc",
+    "Wcc",
+]

@@ -1,0 +1,49 @@
+"""Bellman-Ford single-source shortest paths (paper §2's running example).
+
+Identical dataflow shape to the paper's Figure 2: a JoinMsg operator
+producing candidate distances along edges and a UnionMin operator keeping
+the per-vertex minimum, iterated to the fixed point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.computation import GraphComputation
+
+
+class BellmanFord(GraphComputation):
+    """Minimum weighted distance from the source vertex.
+
+    Edge weights come from the executor's edge records (``(src, (dst, w))``);
+    negative weights are supported as long as no negative cycle exists (the
+    safety cap aborts otherwise).
+    """
+
+    name = "BF"
+    directed = True
+
+    def __init__(self, source: Optional[int] = None):
+        self.source = source
+
+    def build(self, dataflow, edges):
+        if self.source is not None:
+            fixed = self.source
+            roots = edges.flat_map(
+                lambda rec: [(rec[0], 0)] if rec[0] == fixed else [],
+                name="bf.fixedroot").distinct(name="bf.root")
+        else:
+            roots = edges.map(
+                lambda rec: (0, rec[0]), name="bf.srcs").min_by_key(
+                name="bf.minsrc").map(
+                lambda rec: (rec[1], 0), name="bf.root")
+
+        def body(inner, scope):
+            e = scope.enter(edges)
+            r = scope.enter(roots)
+            messages = inner.join(
+                e, lambda u, dist, dw: (dw[0], dist + dw[1]),
+                name="bf.joinmsg")
+            return messages.concat(r).min_by_key(name="bf.unionmin")
+
+        return roots.iterate(body, name="bf.loop")

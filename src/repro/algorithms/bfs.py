@@ -1,0 +1,46 @@
+"""Breadth-first search (hop distances from a source vertex).
+
+Per the paper's experimental setup, the default source is the first vertex
+that has an outgoing edge. The source can also be fixed explicitly, which
+keeps it stable across the views of a collection (recommended: a dynamic
+source may differ between views and destroy sharing).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.computation import GraphComputation
+
+
+class Bfs(GraphComputation):
+    """Minimum hop count from the source; unreachable vertices get nothing."""
+
+    name = "BFS"
+    directed = True
+
+    def __init__(self, source: Optional[int] = None):
+        self.source = source
+
+    def build(self, dataflow, edges):
+        if self.source is not None:
+            fixed = self.source
+            roots = edges.flat_map(
+                lambda rec: [(rec[0], 0)] if rec[0] == fixed else [],
+                name="bfs.fixedroot").distinct(name="bfs.root")
+        else:
+            # "First vertex to contain an outgoing edge": the minimum source
+            # id present in the edge stream, maintained differentially.
+            roots = edges.map(
+                lambda rec: (0, rec[0]), name="bfs.srcs").min_by_key(
+                name="bfs.minsrc").map(
+                lambda rec: (rec[1], 0), name="bfs.root")
+
+        def body(inner, scope):
+            e = scope.enter(edges)
+            r = scope.enter(roots)
+            step = inner.join(
+                e, lambda u, dist, dw: (dw[0], dist + 1), name="bfs.step")
+            return step.concat(r).min_by_key(name="bfs.min")
+
+        return roots.iterate(body, name="bfs.loop")

@@ -1,0 +1,35 @@
+"""Degree computations — the paper's example of simple, non-iterative
+analytics (§3.1.2 mentions "computing the max degree of a graph").
+
+These exercise the single-pass path of the engine: no iterate scope, just
+keyed reductions maintained differentially across views.
+"""
+
+from __future__ import annotations
+
+from repro.core.computation import GraphComputation
+
+
+class OutDegrees(GraphComputation):
+    """``(vertex, out_degree)`` for every vertex with outgoing edges."""
+
+    name = "DEG"
+    directed = True
+
+    def build(self, dataflow, edges):
+        return edges.map(lambda rec: (rec[0], rec[1][0]),
+                         name="deg.out").count_by_key(name="deg.count")
+
+
+class MaxDegree(GraphComputation):
+    """A single record ``(0, max out-degree)`` for the view."""
+
+    name = "MAXDEG"
+    directed = True
+
+    def build(self, dataflow, edges):
+        degrees = edges.map(lambda rec: (rec[0], rec[1][0]),
+                            name="maxdeg.out").count_by_key(
+            name="maxdeg.count")
+        return degrees.map(lambda rec: (0, rec[1]),
+                           name="maxdeg.rekey").max_by_key(name="maxdeg.max")

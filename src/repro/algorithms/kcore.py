@@ -1,0 +1,52 @@
+"""k-core decomposition (membership in the k-core).
+
+The k-core is the maximal subgraph in which every vertex has degree >= k
+(edges treated as undirected). Classic peeling formulation as a fixed
+point: start from all vertices; each round keeps the vertices whose degree
+*within the surviving subgraph* is at least k. Deletions cascade — an
+iterative computation that differentially shares the cascade across views.
+
+Result records: ``(vertex, k)`` for the members of the k-core.
+"""
+
+from __future__ import annotations
+
+from repro.core.computation import GraphComputation
+
+
+class KCore(GraphComputation):
+    """Vertices of the k-core of the (symmetrized) view."""
+
+    name = "KCORE"
+    directed = False  # degree counts both directions
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.name = f"KCORE{k}"
+
+    def build(self, dataflow, edges):
+        k = self.k
+        # Distinct symmetrized pairs: parallel/antiparallel edges must not
+        # double-count a neighbour's contribution to the degree.
+        pairs = edges.map(lambda rec: (rec[0], rec[1][0]),
+                          name="kcore.pairs").distinct(name="kcore.simple")
+        vertices = pairs.map(lambda rec: rec[0], name="kcore.srcs").distinct(
+            name="kcore.verts")
+        seed = vertices.map(lambda v: (v, k), name="kcore.seed")
+
+        def body(inner, scope):
+            e = scope.enter(pairs)
+            alive = inner.map(lambda rec: rec[0], name="kcore.alive")
+            # Edges whose BOTH endpoints survive.
+            from_alive = e.semijoin(alive, name="kcore.esrc")
+            both_alive = from_alive.map(
+                lambda rec: (rec[1], rec[0]), name="kcore.flip").semijoin(
+                alive, name="kcore.edst")
+            degrees = both_alive.count_by_key(name="kcore.deg")
+            return degrees.filter(lambda rec: rec[1] >= k,
+                                  name="kcore.keep").map(
+                lambda rec: (rec[0], k), name="kcore.tag")
+
+        return seed.iterate(body, name="kcore.loop")

@@ -1,0 +1,94 @@
+"""Strongly connected components — Orzan's doubly-iterative Coloring
+algorithm (paper §7.1, computation (ii); Orzan 2004).
+
+Outer loop (peeling rounds), each round containing two inner fixed points:
+
+1. **Color propagation** (forward): every active vertex starts with its own
+   id; the maximum id propagates along active edges. At the fixed point,
+   ``color(v)`` is the largest active vertex that reaches ``v``.
+2. **Roots**: vertices with ``color(v) == v``.
+3. **Membership** (backward): from each root ``r``, follow edges backwards,
+   restricted to vertices with ``color == r``. The reached set is exactly
+   SCC(r); those vertices settle with SCC id ``r`` (the maximum id in the
+   component) and deactivate. The outer loop repeats on the remainder.
+
+The outer loop's variable carries per-vertex status records:
+``(v, ("V",))`` while active, ``(v, ("A", scc_id))`` once settled. Nested
+``iterate`` scopes give the computation 3-dimensional timestamps
+``(view, round, step)`` — the paper's doubly-iterative structure, shared
+differentially across views like everything else.
+"""
+
+from __future__ import annotations
+
+from repro.core.computation import GraphComputation
+
+ACTIVE = ("V",)
+
+
+class Scc(GraphComputation):
+    """Per-vertex SCC ids (= the maximum vertex id in the component)."""
+
+    name = "SCC"
+    directed = True
+
+    def build(self, dataflow, edges):
+        pairs = edges.map(lambda rec: (rec[0], rec[1][0]), name="scc.pairs")
+        vertices = pairs.flat_map(lambda rec: (rec[0], rec[1]),
+                                  name="scc.ends").distinct(name="scc.verts")
+        status0 = vertices.map(lambda v: (v, ACTIVE), name="scc.status0")
+
+        def outer(inner, oscope):
+            e_all = oscope.enter(pairs)
+            active = inner.filter(
+                lambda rec: rec[1] == ACTIVE, name="scc.active").map(
+                lambda rec: rec[0], name="scc.activev")
+            assigned = inner.filter(
+                lambda rec: rec[1] != ACTIVE, name="scc.assigned")
+            # Edges with both endpoints still active.
+            e_src = e_all.semijoin(active, name="scc.esrc")
+            e_act = e_src.map(lambda rec: (rec[1], rec[0]),
+                              name="scc.flip").semijoin(
+                active, name="scc.edst").map(
+                lambda rec: (rec[1], rec[0]), name="scc.unflip")
+            e_rev = e_act.map(lambda rec: (rec[1], rec[0]), name="scc.rev")
+            seed = active.map(lambda v: (v, v), name="scc.seed")
+
+            def color_body(cinner, cscope):
+                ce = cscope.enter(e_act)
+                cseed = cscope.enter(seed)
+                prop = cinner.join(
+                    ce, lambda u, color, v: (v, color), name="scc.cprop")
+                return prop.concat(cseed).max_by_key(name="scc.cmax")
+
+            colors = seed.iterate(color_body, name="scc.colors")
+            roots = colors.filter(lambda rec: rec[0] == rec[1],
+                                  name="scc.roots")
+
+            def member_body(minner, mscope):
+                mrev = mscope.enter(e_rev)
+                mcolors = mscope.enter(colors)
+                mroots = mscope.enter(roots)
+                # (w, c) member and edge u->w: u is a candidate for SCC c.
+                cand = minner.join(
+                    mrev, lambda w, color, u: (u, color), name="scc.mcand")
+                valid = cand.join(
+                    mcolors, lambda u, color, own: (u, color, own),
+                    name="scc.mcheck").filter(
+                    lambda rec: rec[1] == rec[2], name="scc.mok").map(
+                    lambda rec: (rec[0], rec[1]), name="scc.mkeep")
+                return valid.concat(mroots).distinct(name="scc.mset")
+
+            members = roots.iterate(member_body, name="scc.members")
+            settled = members.map(lambda rec: (rec[0], ("A", rec[1])),
+                                  name="scc.settle")
+            member_keys = members.map(lambda rec: rec[0], name="scc.mkeys")
+            still_active = active.map(
+                lambda v: (v, ACTIVE), name="scc.vtag").antijoin(
+                member_keys, name="scc.remain")
+            return assigned.concat(settled, still_active)
+
+        status = status0.iterate(outer, name="scc.outer")
+        return status.filter(lambda rec: rec[1] != ACTIVE,
+                             name="scc.final").map(
+            lambda rec: (rec[0], rec[1][1]), name="scc.out")

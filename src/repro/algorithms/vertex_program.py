@@ -1,0 +1,137 @@
+"""A vertex-centric (Pregel-style) programming layer.
+
+The paper's users write raw differential dataflows (Listing 2); many graph
+programmers prefer the vertex-centric idiom. :class:`VertexProgram` maps it
+onto the engine: subclasses provide per-vertex seeds, a per-edge message
+function, and a per-vertex merge; the framework builds the iterate loop and
+inherits all of Graphsurge's cross-view sharing for free.
+
+Example — BFS in four lines::
+
+    class VertexBfs(VertexProgram):
+        name = "BFS-VP"
+        def seeds(self, vertex): return 0 if vertex == self.source else None
+        def message(self, src, value, dst, weight): return value + 1
+        def merge(self, vertex, values): return min(values)
+
+Semantics per superstep: every vertex with a value sends ``message(...)``
+along each outgoing edge; each vertex's next value is
+``merge(vertex, seeds ∪ incoming messages)`` — iterated to the fixed
+point (or ``max_iters``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.computation import GraphComputation
+
+
+class VertexProgram(GraphComputation):
+    """Base class for vertex-centric computations."""
+
+    #: Optional iteration clamp (None = run to the fixed point).
+    max_iters: Optional[int] = None
+
+    # -- the subclass API ----------------------------------------------------
+
+    def seeds(self, vertex: int) -> Any:
+        """Initial value for ``vertex`` (None = no seed)."""
+        return None
+
+    def message(self, src: int, value: Any, dst: int,
+                weight: int) -> Any:
+        """Message sent along ``src -> dst``; None sends nothing."""
+        raise NotImplementedError
+
+    def merge(self, vertex: int, values: Dict[Any, int]) -> Any:
+        """Fold seeds + incoming messages into the vertex's next value.
+
+        ``values`` maps candidate values to multiplicities; return the
+        kept value (or None to leave the vertex without a value).
+        """
+        raise NotImplementedError
+
+    # -- framework ---------------------------------------------------------------
+
+    def build(self, dataflow, edges):
+        program = self
+        vertices = edges.flat_map(
+            lambda rec: (rec[0], rec[1][0]), name="vp.ends").distinct(
+            name="vp.vertices")
+        seeds = vertices.flat_map(
+            lambda v: [] if program.seeds(v) is None
+            else [(v, program.seeds(v))],
+            name="vp.seeds")
+
+        def merge_logic(key, values):
+            merged = program.merge(key, values)
+            return [] if merged is None else [merged]
+
+        def body(inner, scope):
+            e = scope.enter(edges)
+            s = scope.enter(seeds)
+            messages = inner.join(
+                e,
+                lambda u, value, dw: (
+                    dw[0], program.message(u, value, dw[0], dw[1])),
+                name="vp.messages").filter(
+                lambda rec: rec[1] is not None, name="vp.sent")
+            return messages.concat(s).reduce(merge_logic, name="vp.merge")
+
+        return seeds.iterate(body, max_iters=self.max_iters,
+                             name="vp.loop")
+
+
+class VertexBfs(VertexProgram):
+    """BFS expressed vertex-centrically (reference: repro.algorithms.Bfs)."""
+
+    name = "BFS-VP"
+    directed = True
+
+    def __init__(self, source: int):
+        self.source = source
+
+    def seeds(self, vertex):
+        return 0 if vertex == self.source else None
+
+    def message(self, src, value, dst, weight):
+        return value + 1
+
+    def merge(self, vertex, values):
+        return min(values)
+
+
+class VertexWcc(VertexProgram):
+    """WCC expressed vertex-centrically (reference: repro.algorithms.Wcc)."""
+
+    name = "WCC-VP"
+    directed = False
+
+    def seeds(self, vertex):
+        return vertex
+
+    def message(self, src, value, dst, weight):
+        return value
+
+    def merge(self, vertex, values):
+        return min(values)
+
+
+class VertexSssp(VertexProgram):
+    """Weighted shortest paths, vertex-centrically."""
+
+    name = "SSSP-VP"
+    directed = True
+
+    def __init__(self, source: int):
+        self.source = source
+
+    def seeds(self, vertex):
+        return 0 if vertex == self.source else None
+
+    def message(self, src, value, dst, weight):
+        return value + weight
+
+    def merge(self, vertex, values):
+        return min(values)

@@ -1,0 +1,33 @@
+"""Weakly connected components.
+
+Classic differential formulation: every vertex starts labelled with its own
+id; labels propagate along (symmetrized) edges; each vertex keeps the
+minimum label seen; at the fixed point the label is the component id (the
+minimum vertex id of the component).
+"""
+
+from __future__ import annotations
+
+from repro.core.computation import GraphComputation
+
+
+class Wcc(GraphComputation):
+    """Per-vertex minimum-label propagation to a fixed point."""
+
+    name = "WCC"
+    directed = False  # the executor feeds both edge directions
+
+    def build(self, dataflow, edges):
+        vertices = edges.flat_map(
+            lambda rec: (rec[0], rec[1][0]), name="wcc.vertices").distinct(
+            name="wcc.vset")
+        labels = vertices.map(lambda v: (v, v), name="wcc.seed")
+
+        def body(inner, scope):
+            e = scope.enter(edges)
+            seed = scope.enter(labels)
+            propagated = inner.join(
+                e, lambda u, label, dw: (dw[0], label), name="wcc.prop")
+            return propagated.concat(seed).min_by_key(name="wcc.min")
+
+        return labels.iterate(body, name="wcc.loop")

@@ -1,0 +1,17 @@
+"""Benchmark harness reproducing every table and figure of the paper.
+
+Structure:
+
+* :mod:`repro.bench.workloads` — builders for each experiment's view
+  collections (verbatim translations of the paper's definitions at
+  engine-appropriate scale).
+* :mod:`repro.bench.harness` — grid runner + paper-style table printing.
+* :mod:`repro.bench.experiments` — one driver per table/figure; run them
+  with ``python -m repro.bench <experiment>`` (e.g. ``table2``, ``fig6``).
+* ``benchmarks/`` (repo root) — pytest-benchmark entry points that wrap the
+  same drivers.
+"""
+
+from repro.bench.harness import ExperimentResult, print_table, run_modes
+
+__all__ = ["ExperimentResult", "print_table", "run_modes"]

@@ -1,0 +1,50 @@
+"""Command-line entry point for the experiment drivers.
+
+Usage::
+
+    python -m repro.bench table2            # one experiment
+    python -m repro.bench fig6 --quick      # smaller/faster configuration
+    python -m repro.bench all               # everything, in paper order
+
+Scale all experiments with the ``REPRO_BENCH_SCALE`` environment variable
+(e.g. ``REPRO_BENCH_SCALE=2`` doubles graph sizes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS
+
+ORDER = ["table2", "fig6", "fig7", "table3", "table4", "fig8", "fig9",
+         "fig10", "ablation", "baselines"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's tables and figures.")
+    parser.add_argument("experiment", choices=ORDER + ["all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller configuration for a fast smoke run")
+    parser.add_argument("--save", metavar="DIR", default=None,
+                        help="archive results as CSV+Markdown under DIR")
+    args = parser.parse_args(argv)
+    names = ORDER if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.perf_counter()
+        rows = EXPERIMENTS[name](quick=args.quick)
+        print(f"[{name} done in {time.perf_counter() - started:.1f}s]")
+        if args.save:
+            from repro.bench.reporting import save_report
+
+            save_report(rows, args.save, name)
+            print(f"[saved {name}.csv and {name}.md under {args.save}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

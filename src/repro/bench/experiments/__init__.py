@@ -1,0 +1,40 @@
+"""Experiment drivers, one per table/figure of the paper.
+
+Run from the command line::
+
+    python -m repro.bench table2
+    python -m repro.bench fig6 --quick
+    python -m repro.bench all
+
+Every driver exposes ``run(quick=False) -> list[ExperimentResult]`` and
+prints the same rows/series the paper reports (scaled to the synthetic
+datasets — see EXPERIMENTS.md for the paper-vs-measured record).
+"""
+
+from repro.bench.experiments import (  # noqa: F401
+    ablation,
+    baselines,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    table2,
+    table3,
+    table4,
+)
+
+EXPERIMENTS = {
+    "table2": table2.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "ablation": ablation.run,
+    "baselines": baselines.run,
+}
+
+__all__ = ["EXPERIMENTS"]

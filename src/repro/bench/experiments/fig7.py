@@ -1,0 +1,46 @@
+"""Figure 7 (§7.2): benefits of scratch on non-overlapping collections
+(C_no).
+
+Fully disjoint sliding windows: scratch should win by a bounded factor
+(≤ ~2.5x in the paper) that does *not* grow with the number of views —
+the robustness property of differential computation discussed in §5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.experiments.fig6 import ALGORITHMS
+from repro.bench.harness import (
+    ExperimentResult,
+    bench_scale,
+    print_table,
+    run_modes,
+    to_rows,
+)
+from repro.bench.workloads import CNO_WINDOWS, cno_collection, default_so_graph
+
+
+def run(quick: bool = False) -> List[ExperimentResult]:
+    scale = bench_scale(0.5 if quick else 1.0)
+    graph = default_so_graph(scale=scale)
+    windows: Dict[str, int] = CNO_WINDOWS
+    if quick:
+        windows = {k: CNO_WINDOWS[k] for k in ("1y", "4y")}
+    rows: List[ExperimentResult] = []
+    for label, seconds in windows.items():
+        collection = cno_collection(graph, seconds,
+                                    max_views=12 if quick else 48,
+                                    name=f"cno-{label}")
+        for name, factory in ALGORITHMS:
+            results = run_modes(factory, collection)
+            rows.extend(to_rows(
+                results, "fig7", "so-like",
+                f"w={label},k={collection.num_views}"))
+    print_table(rows, "Figure 7: runtime on non-overlapping collections "
+                      "(C_no)")
+    return rows
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

@@ -1,0 +1,134 @@
+"""Grid runner and paper-style table printing for the experiments."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.computation import GraphComputation
+from repro.core.executor import (
+    AnalyticsExecutor,
+    CollectionRunResult,
+    ExecutionMode,
+)
+from repro.core.view_collection import MaterializedCollection
+
+ALL_MODES = (ExecutionMode.DIFF_ONLY, ExecutionMode.SCRATCH,
+             ExecutionMode.ADAPTIVE)
+
+
+def bench_scale(default: float = 1.0) -> float:
+    """Experiment size multiplier, settable via ``REPRO_BENCH_SCALE``."""
+    raw = os.environ.get("REPRO_BENCH_SCALE")
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+@dataclass
+class ExperimentResult:
+    """One (collection, computation, mode) measurement."""
+
+    experiment: str
+    dataset: str
+    algorithm: str
+    config: str
+    mode: str
+    num_views: int
+    wall_seconds: float
+    work: int
+    parallel_time: int
+    splits: int = 0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+def run_modes(computation_factory: Callable[[], GraphComputation],
+              collection: MaterializedCollection,
+              modes: Sequence[ExecutionMode] = ALL_MODES,
+              workers: int = 1, batch_size: int = 10,
+              cost_metric: str = "work"
+              ) -> Dict[ExecutionMode, CollectionRunResult]:
+    """Run one computation over one collection under several modes.
+
+    A fresh computation instance per mode keeps runs independent.
+    """
+    executor = AnalyticsExecutor(workers=workers)
+    results: Dict[ExecutionMode, CollectionRunResult] = {}
+    for mode in modes:
+        computation = computation_factory()
+        results[mode] = executor.run_on_collection(
+            computation, collection, mode=mode, batch_size=batch_size,
+            cost_metric=cost_metric)
+    return results
+
+
+def to_rows(results: Dict[ExecutionMode, CollectionRunResult],
+            experiment: str, dataset: str, config: str
+            ) -> List[ExperimentResult]:
+    rows = []
+    for mode, result in results.items():
+        rows.append(ExperimentResult(
+            experiment=experiment,
+            dataset=dataset,
+            algorithm=result.computation,
+            config=config,
+            mode=mode.value,
+            num_views=len(result.views),
+            wall_seconds=result.total_wall_seconds,
+            work=result.total_work,
+            parallel_time=result.total_parallel_time,
+            splits=len(result.split_points),
+        ))
+    return rows
+
+
+def print_table(rows: Iterable[ExperimentResult],
+                title: Optional[str] = None) -> None:
+    """Print rows as a fixed-width table, paper style."""
+    rows = list(rows)
+    if title:
+        print(f"\n== {title} ==")
+    if not rows:
+        print("(no rows)")
+        return
+    headers = ["dataset", "algorithm", "config", "mode", "views",
+               "wall(s)", "work", "par.time", "splits"]
+    table = [[r.dataset, r.algorithm, r.config, r.mode, str(r.num_views),
+              f"{r.wall_seconds:.2f}", str(r.work), str(r.parallel_time),
+              str(r.splits)] for r in rows]
+    widths = [max(len(h), *(len(line[i]) for line in table))
+              for i, h in enumerate(headers)]
+    def render(line):
+        return "  ".join(cell.ljust(w) for cell, w in zip(line, widths))
+    print(render(headers))
+    print(render(["-" * w for w in widths]))
+    for line in table:
+        print(render(line))
+
+
+def speedup_summary(results: Dict[ExecutionMode, CollectionRunResult],
+                    metric: str = "work") -> Dict[str, float]:
+    """Pairwise factors between modes (e.g. scratch/diff) on a metric."""
+    def value(mode: ExecutionMode) -> float:
+        result = results.get(mode)
+        if result is None:
+            return float("nan")
+        if metric == "work":
+            return float(max(1, result.total_work))
+        if metric == "wall":
+            return max(1e-9, result.total_wall_seconds)
+        return float(max(1, result.total_parallel_time))
+
+    out: Dict[str, float] = {}
+    if ExecutionMode.DIFF_ONLY in results and ExecutionMode.SCRATCH in results:
+        out["scratch/diff"] = value(ExecutionMode.SCRATCH) / \
+            value(ExecutionMode.DIFF_ONLY)
+    if ExecutionMode.ADAPTIVE in results:
+        best = min(value(m) for m in results if m is not ExecutionMode.ADAPTIVE) \
+            if len(results) > 1 else float("nan")
+        out["best/adaptive"] = best / value(ExecutionMode.ADAPTIVE)
+    return out

@@ -1,0 +1,82 @@
+"""Render experiment results to Markdown, CSV, and ASCII charts.
+
+Used by ``python -m repro.bench <exp> --save DIR`` to archive runs, and
+handy for comparing against the records in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.bench.harness import ExperimentResult
+
+PathLike = Union[str, Path]
+
+_FIELDS = ["experiment", "dataset", "algorithm", "config", "mode",
+           "num_views", "wall_seconds", "work", "parallel_time", "splits"]
+
+
+def to_csv(rows: Iterable[ExperimentResult], path: PathLike) -> None:
+    """Write rows as CSV."""
+    rows = list(rows)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_FIELDS)
+        for row in rows:
+            writer.writerow([getattr(row, field) for field in _FIELDS])
+
+
+def to_markdown(rows: Iterable[ExperimentResult],
+                title: str = "") -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    rows = list(rows)
+    lines: List[str] = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(_FIELDS) + " |")
+    lines.append("|" + "|".join("---" for _ in _FIELDS) + "|")
+    for row in rows:
+        cells = []
+        for field in _FIELDS:
+            value = getattr(row, field)
+            if isinstance(value, float):
+                cells.append(f"{value:.2f}")
+            else:
+                cells.append(str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def ascii_chart(series: Sequence[Tuple[str, float]], width: int = 50,
+                title: str = "") -> str:
+    """Horizontal ASCII bar chart (for figure-style results).
+
+    ``series`` is (label, value) pairs; bars are scaled to ``width``.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not series:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    peak = max(value for _label, value in series)
+    label_width = max(len(label) for label, _value in series)
+    for label, value in series:
+        bar = "#" * (int(width * value / peak) if peak > 0 else 0)
+        lines.append(f"{label.rjust(label_width)} | "
+                     f"{bar} {value:g}")
+    return "\n".join(lines)
+
+
+def save_report(rows: Iterable[ExperimentResult], directory: PathLike,
+                name: str) -> None:
+    """Write both CSV and Markdown for an experiment's rows."""
+    rows = list(rows)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    to_csv(rows, directory / f"{name}.csv")
+    (directory / f"{name}.md").write_text(
+        to_markdown(rows, title=name) + "\n")

@@ -1,0 +1,239 @@
+"""Command-line interface to a Graphsurge session.
+
+The paper's users load graphs, run GVDL statements, and invoke analytics
+computations from a command line; this module provides the same workflow::
+
+    # load a graph, create views/collections, run a computation
+    python -m repro.cli \
+        --load Calls=nodes.csv,edges.csv \
+        --gvdl script.gvdl \
+        run wcc call-analysis --mode adaptive --out results.csv
+
+Subcommands:
+
+* ``gvdl``  — execute GVDL statements (from --gvdl files or --execute text)
+  and report what was created.
+* ``run``   — run a named computation on a graph, view, or collection.
+* ``info``  — describe the session's graphs, views, and collections.
+
+Computations: wcc, scc, bfs, bf (Bellman-Ford), pagerank, mpsp, kcore,
+triangles, degrees, maxdegree. Options like ``--source``/``--iterations``
+configure them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.algorithms import (
+    BellmanFord,
+    Bfs,
+    KCore,
+    MaxDegree,
+    Mpsp,
+    OutDegrees,
+    PageRank,
+    Scc,
+    Triangles,
+    Wcc,
+)
+from repro.core.computation import GraphComputation
+from repro.core.executor import CollectionRunResult, ExecutionMode
+from repro.core.system import Graphsurge
+from repro.errors import GraphsurgeError
+
+
+def build_computation(name: str, args: argparse.Namespace) -> GraphComputation:
+    """Instantiate a computation by CLI name."""
+    name = name.lower()
+    if name == "wcc":
+        return Wcc()
+    if name == "scc":
+        return Scc()
+    if name == "bfs":
+        return Bfs(source=args.source)
+    if name in ("bf", "sssp", "bellman-ford"):
+        return BellmanFord(source=args.source)
+    if name in ("pagerank", "pr"):
+        return PageRank(iterations=args.iterations)
+    if name == "mpsp":
+        if not args.pairs:
+            raise GraphsurgeError(
+                "mpsp needs --pairs, e.g. --pairs 1:5,1:9")
+        pairs = []
+        for chunk in args.pairs.split(","):
+            src_text, _, dst_text = chunk.partition(":")
+            pairs.append((int(src_text), int(dst_text)))
+        return Mpsp(pairs)
+    if name == "kcore":
+        return KCore(args.k)
+    if name == "triangles":
+        return Triangles()
+    if name == "degrees":
+        return OutDegrees()
+    if name == "maxdegree":
+        return MaxDegree()
+    raise GraphsurgeError(f"unknown computation {name!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Graphsurge command line")
+    parser.add_argument(
+        "--load", action="append", default=[], metavar="NAME=NODES,EDGES",
+        help="load a base graph from CSV files (repeatable)")
+    parser.add_argument(
+        "--gvdl", action="append", default=[], metavar="FILE",
+        help="execute GVDL statements from a file (repeatable)")
+    parser.add_argument(
+        "--execute", action="append", default=[], metavar="TEXT",
+        help="execute GVDL statements given inline (repeatable)")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="simulated worker count (default 1)")
+    parser.add_argument(
+        "--order-collections", default="identity",
+        choices=["identity", "christofides", "greedy", "random"],
+        help="collection ordering method (default identity)")
+    parser.add_argument(
+        "--weight-property", default=None,
+        help="edge property to use as weight for analytics")
+
+    subcommands = parser.add_subparsers(dest="command")
+
+    info = subcommands.add_parser("info", help="describe the session")
+    del info
+
+    run = subcommands.add_parser("run", help="run a computation")
+    run.add_argument("computation",
+                     help="wcc|scc|bfs|bf|pagerank|mpsp|kcore|triangles|"
+                          "degrees|maxdegree")
+    run.add_argument("target", help="graph, view, or collection name")
+    run.add_argument("--mode", default="adaptive",
+                     choices=[m.value for m in ExecutionMode],
+                     help="execution policy for collections")
+    run.add_argument("--batch-size", type=int, default=10,
+                     help="adaptive splitting batch size (default 10)")
+    run.add_argument("--source", type=int, default=None,
+                     help="source vertex for bfs/bf")
+    run.add_argument("--iterations", type=int, default=10,
+                     help="pagerank iterations (default 10)")
+    run.add_argument("--k", type=int, default=2,
+                     help="k for kcore (default 2)")
+    run.add_argument("--pairs", default=None,
+                     help="mpsp pairs as src:dst,src:dst,...")
+    run.add_argument("--out", default=None, metavar="FILE",
+                     help="write per-view results to a CSV file")
+
+    gvdl = subcommands.add_parser(
+        "gvdl", help="only execute the --gvdl/--execute statements")
+    del gvdl
+    return parser
+
+
+def _setup_session(args: argparse.Namespace) -> Graphsurge:
+    session = Graphsurge(workers=args.workers,
+                         order_collections=args.order_collections,
+                         weight_property=args.weight_property)
+    for spec in args.load:
+        name, _, files = spec.partition("=")
+        nodes_path, _, edges_path = files.partition(",")
+        if not (name and nodes_path and edges_path):
+            raise GraphsurgeError(
+                f"--load expects NAME=NODES,EDGES, got {spec!r}")
+        session.load_graph(name, nodes_path, edges_path)
+        print(f"loaded graph {name}")
+    for path in args.gvdl:
+        created = session.execute(Path(path).read_text())
+        for name in created:
+            print(f"created {name}")
+    for text in args.execute:
+        created = session.execute(text)
+        for name in created:
+            print(f"created {name}")
+    return session
+
+
+def _print_info(session: Graphsurge) -> None:
+    print("graphs:")
+    for name in session.graphs.names():
+        print(f"  {name}: {session.graphs.get(name)!r}")
+    print("views:")
+    for name in session.views.view_names():
+        print(f"  {name}: {session.views.get_view(name)!r}")
+    print("collections:")
+    for name in session.views.collection_names():
+        collection = session.views.get_collection(name)
+        print(f"  {name}: {collection.num_views} views, "
+              f"{collection.total_diffs} total diffs")
+
+
+def _write_collection_csv(result: CollectionRunResult, path: str) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["view", "vertex", "value"])
+        for view_result in result.views:
+            if view_result.output is None:
+                continue
+            for (vertex, value), mult in sorted(
+                    view_result.output.items(), key=repr):
+                for _ in range(mult):
+                    writer.writerow([view_result.view_name, vertex, value])
+
+
+def _run(session: Graphsurge, args: argparse.Namespace) -> None:
+    computation = build_computation(args.computation, args)
+    result = session.run_analytics(
+        computation, args.target, mode=ExecutionMode(args.mode),
+        batch_size=args.batch_size, keep_outputs=bool(args.out))
+    if isinstance(result, CollectionRunResult):
+        print(f"{computation.name} on collection {args.target}: "
+              f"{len(result.views)} views in "
+              f"{result.total_wall_seconds:.2f}s "
+              f"({result.total_work} work units, "
+              f"splits at {result.split_points})")
+        for view_result in result.views:
+            print(f"  {view_result.view_name:>12} "
+                  f"{view_result.strategy.value:>12} "
+                  f"{view_result.wall_seconds:>8.3f}s "
+                  f"{view_result.work:>10} work")
+        if args.out:
+            _write_collection_csv(result, args.out)
+            print(f"wrote {args.out}")
+    else:
+        print(f"{computation.name} on {args.target}: "
+              f"{result.output_diff_size} result records in "
+              f"{result.wall_seconds:.2f}s ({result.work} work units)")
+        if args.out:
+            with open(args.out, "w", newline="") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(["vertex", "value"])
+                for (vertex, value), _mult in sorted(
+                        result.output.items(), key=repr):
+                    writer.writerow([vertex, value])
+            print(f"wrote {args.out}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        session = _setup_session(args)
+        if args.command == "info":
+            _print_info(session)
+        elif args.command == "run":
+            _run(session, args)
+        elif args.command in (None, "gvdl"):
+            pass
+    except (GraphsurgeError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

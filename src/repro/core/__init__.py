@@ -1,0 +1,25 @@
+"""The Graphsurge system core (paper §3-§6).
+
+Implements view collections (edge boolean matrix → collection ordering →
+edge difference stream), the analytics computation executor with its three
+execution policies (diff-only / scratch / adaptive splitting), aggregate
+views, and the :class:`Graphsurge` facade tying everything to GVDL and the
+stores.
+"""
+
+from repro.core.computation import GraphComputation
+from repro.core.executor import AnalyticsExecutor, ExecutionMode
+from repro.core.system import Graphsurge
+from repro.core.view_collection import (
+    MaterializedCollection,
+    ViewCollectionDefinition,
+)
+
+__all__ = [
+    "GraphComputation",
+    "AnalyticsExecutor",
+    "ExecutionMode",
+    "Graphsurge",
+    "MaterializedCollection",
+    "ViewCollectionDefinition",
+]

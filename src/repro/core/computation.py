@@ -1,0 +1,49 @@
+"""The analytics computation API (paper Listing 2).
+
+Users implement :class:`GraphComputation` — the Python analogue of the
+``GraphSurgeComputation`` Rust trait. The ``build`` hook receives the
+dataflow and the Graphsurge-provided edge stream collection (records are
+``(src, (dst, weight))``) and returns a collection of per-vertex results
+(records ``(vertex, result_value)``).
+
+The executor feeds the edge stream (or edge *difference* stream, when
+running a view collection) into the dataflow; the user program is an
+ordinary differential dataflow, so sharing across views happens inside the
+engine with no algorithm-specific maintenance code.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.differential.collection import Collection
+    from repro.differential.dataflow import Dataflow
+
+
+class GraphComputation(abc.ABC):
+    """Base class for analytics computations.
+
+    Attributes:
+
+    * ``name`` — used in reports.
+    * ``directed`` — when False, the executor feeds each edge in both
+      directions (symmetric closure), which is what WCC-style computations
+      expect.
+    """
+
+    name: str = "computation"
+    directed: bool = True
+
+    @abc.abstractmethod
+    def build(self, dataflow: "Dataflow", edges: "Collection") -> "Collection":
+        """Construct the dataflow and return the per-vertex result collection.
+
+        ``edges`` carries ``(src, (dst, weight))`` records. The returned
+        collection must carry ``(vertex, result_value)`` records at the root
+        scope.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,90 @@
+"""Diagnostics for materialized view collections.
+
+Helps users understand a collection before running analytics on it: how
+similar consecutive views are, whether ordering would help, and where the
+natural split points sit. ``Graphsurge.explain(name)`` prints the summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.view_collection import MaterializedCollection
+
+
+@dataclass
+class CollectionSummary:
+    """Aggregate similarity statistics of a materialized collection."""
+
+    name: str
+    num_views: int
+    total_diffs: int
+    view_sizes: List[int]
+    diff_sizes: List[int]
+    #: |δC_i| / |GV_i| per view (0 for empty views); view 0 excluded —
+    #: its difference set is the whole first view by construction.
+    churn_ratios: List[float]
+    #: Jaccard similarity |GV_{i-1} ∩ GV_i| / |GV_{i-1} ∪ GV_i|.
+    jaccard: List[float]
+
+    @property
+    def mean_churn(self) -> float:
+        if not self.churn_ratios:
+            return 0.0
+        return sum(self.churn_ratios) / len(self.churn_ratios)
+
+    @property
+    def min_jaccard(self) -> float:
+        return min(self.jaccard) if self.jaccard else 1.0
+
+    def likely_split_points(self, churn_threshold: float = 1.0) -> List[int]:
+        """Views whose churn ratio exceeds the threshold — candidates for
+        running from scratch (the adaptive optimizer confirms at run
+        time)."""
+        return [index + 1
+                for index, ratio in enumerate(self.churn_ratios)
+                if ratio >= churn_threshold]
+
+    def render(self) -> str:
+        lines = [
+            f"collection {self.name}: {self.num_views} views, "
+            f"{self.total_diffs} total edge differences",
+            f"view sizes: min {min(self.view_sizes)}, "
+            f"max {max(self.view_sizes)}",
+            f"mean churn |δC|/|GV|: {self.mean_churn:.2f}; "
+            f"min consecutive Jaccard: {self.min_jaccard:.2f}",
+        ]
+        splits = self.likely_split_points()
+        if splits:
+            lines.append(f"high-churn views (likely split points): {splits}")
+        else:
+            lines.append("no high-churn views: diff-only execution should "
+                         "dominate")
+        return "\n".join(lines)
+
+
+def summarize_collection(collection: MaterializedCollection
+                         ) -> CollectionSummary:
+    """Compute similarity statistics for a collection."""
+    churn: List[float] = []
+    jaccard: List[float] = []
+    previous = set()
+    for index in range(collection.num_views):
+        current = set(collection.full_view_edges(index))
+        if index > 0:
+            size = max(1, len(current))
+            churn.append(collection.diff_sizes[index] / size)
+            union = len(previous | current)
+            inter = len(previous & current)
+            jaccard.append(inter / union if union else 1.0)
+        previous = current
+    return CollectionSummary(
+        name=collection.name,
+        num_views=collection.num_views,
+        total_diffs=collection.total_diffs,
+        view_sizes=list(collection.view_sizes),
+        diff_sizes=list(collection.diff_sizes),
+        churn_ratios=churn,
+        jaccard=jaccard,
+    )

@@ -1,0 +1,122 @@
+"""Step 1 of view-collection materialization: the Edge Boolean Matrix.
+
+For each edge ``e_i`` of the base graph and each view ``GV_j`` of the
+collection, the EBM records whether ``e_i`` satisfies the view's predicate
+(paper §3.2, Figure 5a). The computation is embarrassingly parallel over
+edges; we shard it over the simulated workers and meter the work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gvdl.ast import Predicate
+from repro.gvdl.predicate import compile_predicate
+from repro.graph.property_graph import PropertyGraph
+from repro.timely.meter import WorkMeter
+
+EdgeKey = Tuple[int, int, int, int]  # (edge_id, src, dst, weight)
+
+
+class EdgeBooleanMatrix:
+    """An m-edges x k-views boolean matrix plus the edge identities."""
+
+    def __init__(self, edges: Sequence[EdgeKey], view_names: Sequence[str],
+                 matrix: np.ndarray):
+        if matrix.shape != (len(edges), len(view_names)):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match "
+                f"{len(edges)} edges x {len(view_names)} views")
+        self.edges: List[EdgeKey] = list(edges)
+        self.view_names: List[str] = list(view_names)
+        self.matrix = matrix.astype(bool)
+
+    @property
+    def num_edges(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def num_views(self) -> int:
+        return self.matrix.shape[1]
+
+    def reorder(self, order: Sequence[int]) -> "EdgeBooleanMatrix":
+        """Return a new EBM with columns permuted by ``order``."""
+        order = list(order)
+        if sorted(order) != list(range(self.num_views)):
+            raise ValueError(f"invalid column order {order}")
+        return EdgeBooleanMatrix(
+            self.edges,
+            [self.view_names[j] for j in order],
+            self.matrix[:, order],
+        )
+
+    def view_sizes(self) -> List[int]:
+        """Number of edges in each view (column sums)."""
+        return self.matrix.sum(axis=0).astype(int).tolist()
+
+
+def build_ebm(graph: PropertyGraph, view_names: Sequence[str],
+              predicates: Sequence[Predicate],
+              weight_property: Optional[str] = None,
+              meter: Optional[WorkMeter] = None,
+              workers: int = 1) -> EdgeBooleanMatrix:
+    """Evaluate every view predicate on every edge of the base graph.
+
+    Runs as a timely batch dataflow (paper §3.2 step 1: "an embarrassingly
+    parallelizable computation ... performed by a TD dataflow"): edges are
+    sharded across workers, each worker evaluates every predicate on its
+    shard.
+    """
+    from repro.timely.dataflow import TimelyDataflow
+
+    if len(view_names) != len(predicates):
+        raise ValueError("one predicate per view is required")
+    evaluators: List[Callable] = [
+        compile_predicate(p, graph.edge_schema, graph.node_schema)
+        for p in predicates
+    ]
+    meter = meter or WorkMeter(workers)
+
+    def edge_record(edge):
+        if weight_property is not None:
+            weight = int(edge.properties.get(weight_property, 1))
+        else:
+            weight = 1
+        return (edge.id, edge.src, edge.dst, weight, edge.properties,
+                graph.nodes[edge.src].properties,
+                graph.nodes[edge.dst].properties)
+
+    def evaluate_row(record):
+        edge_id, src, dst, weight, eprops, sprops, dprops = record
+        flags = tuple(evaluate(eprops, sprops, dprops)
+                      for evaluate in evaluators)
+        return (edge_id, src, dst, weight, flags)
+
+    td = TimelyDataflow(workers=workers, meter=meter)
+    stream = td.input("edges")
+    results = stream.exchange(lambda rec: rec[1], name="ebm.shard").map(
+        evaluate_row, name="ebm.evaluate")
+    capture = results.capture("ebm.rows")
+    td.run({"edges": [edge_record(edge) for edge in graph.edges]})
+
+    edges: List[EdgeKey] = []
+    rows = np.zeros((graph.num_edges, len(predicates)), dtype=bool)
+    for row, (edge_id, src, dst, weight, flags) in enumerate(
+            sorted(capture.records)):
+        edges.append((edge_id, src, dst, weight))
+        rows[row] = flags
+    return EdgeBooleanMatrix(edges, view_names, rows)
+
+
+def build_ebm_from_memberships(edges: Sequence[EdgeKey],
+                               view_names: Sequence[str],
+                               memberships: Sequence[Sequence[bool]]
+                               ) -> EdgeBooleanMatrix:
+    """Build an EBM directly from precomputed membership rows (tests,
+    synthetic workloads)."""
+    matrix = np.asarray(memberships, dtype=bool)
+    if matrix.ndim != 2:
+        raise ValueError("memberships must be a 2-D row-per-edge structure")
+    return EdgeBooleanMatrix(edges, view_names, matrix)

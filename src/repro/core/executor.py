@@ -1,0 +1,226 @@
+"""The Analytics Computation Executor (paper §3.2.2, §5).
+
+Runs a :class:`GraphComputation` over a materialized view collection under
+one of three policies:
+
+* ``DIFF_ONLY`` — one dataflow instance; each view's edge difference set is
+  fed as the next epoch, so the engine shares computation across views.
+* ``SCRATCH`` — a fresh dataflow per view fed the full view. Iterative
+  computations still run differentially *across their own iterations* (that
+  is inherent to the engine), but nothing is shared between views.
+* ``ADAPTIVE`` — the splitting optimizer picks per batch of views.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.computation import GraphComputation
+from repro.core.splitting.optimizer import AdaptiveSplitter, SplitDecision
+from repro.core.view_collection import MaterializedCollection
+from repro.differential.dataflow import Dataflow
+from repro.differential.multiset import Diff
+from repro.differential.operators.io import CaptureOp
+from repro.errors import ComputationError
+from repro.graph.edge_stream import EdgeStream, edge_diff_to_input
+
+
+class ExecutionMode(enum.Enum):
+    DIFF_ONLY = "diff-only"
+    SCRATCH = "scratch"
+    ADAPTIVE = "adaptive"
+
+
+@dataclass
+class ViewRunResult:
+    """Cost and output of the computation on one view."""
+
+    view_name: str
+    strategy: SplitDecision
+    wall_seconds: float
+    work: int
+    parallel_time: int
+    view_size: int
+    diff_size: int
+    output_diff_size: int
+    output: Optional[Diff] = field(default=None, repr=False)
+    #: The per-view *output difference set* (paper §3.2.2: "The output
+    #: difference stream can then be stored or processed by the user").
+    #: Populated when the executor runs with ``keep_output_diffs=True``.
+    #: Note: a view executed from scratch (strategy SCRATCH) restarts the
+    #: stream — its "difference" is its full output, not a delta against
+    #: the previous view.
+    output_diff: Optional[Diff] = field(default=None, repr=False)
+
+    def vertex_map(self) -> Dict[Any, Any]:
+        """Render the accumulated output as ``{vertex: value}``.
+
+        Raises if a vertex carries several values (use the raw ``output``
+        for multi-valued computations).
+        """
+        if self.output is None:
+            raise ComputationError("outputs were not kept for this run")
+        out: Dict[Any, Any] = {}
+        for (vertex, value), mult in self.output.items():
+            if mult != 1 or vertex in out:
+                raise ComputationError(
+                    f"vertex {vertex!r} has a non-unique result")
+            out[vertex] = value
+        return out
+
+
+@dataclass
+class CollectionRunResult:
+    """Outcome of running a computation across a whole collection."""
+
+    computation: str
+    collection: str
+    mode: ExecutionMode
+    views: List[ViewRunResult]
+    total_wall_seconds: float
+    total_work: int
+    total_parallel_time: int
+    split_points: List[int]
+
+    def strategy_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for view in self.views:
+            counts[view.strategy.value] = counts.get(view.strategy.value, 0) + 1
+        return counts
+
+
+class AnalyticsExecutor:
+    """Drives computations over single views and view collections."""
+
+    def __init__(self, workers: int = 1):
+        self.workers = workers
+
+    # -- single views -----------------------------------------------------------
+
+    def run_on_view(self, computation: GraphComputation,
+                    edges: EdgeStream,
+                    keep_output: bool = True) -> ViewRunResult:
+        """Run a computation on one materialized view (paper §3.1.2)."""
+        dataflow, capture = self._fresh_dataflow(computation)
+        started = time.perf_counter()
+        before = dataflow.meter.snapshot()
+        diff = edges.as_input_diff(directed=computation.directed)
+        epoch = dataflow.step({"edges": diff})
+        after = dataflow.meter.snapshot()
+        spent = before.delta(after)
+        output = capture.value_at_epoch(epoch)
+        return ViewRunResult(
+            view_name="view",
+            strategy=SplitDecision.SCRATCH,
+            wall_seconds=time.perf_counter() - started,
+            work=spent.total_work,
+            parallel_time=spent.parallel_time,
+            view_size=len(edges),
+            diff_size=len(edges),
+            output_diff_size=len(output),
+            output=output if keep_output else None,
+        )
+
+    # -- collections --------------------------------------------------------------
+
+    def run_on_collection(self, computation: GraphComputation,
+                          collection: MaterializedCollection,
+                          mode: ExecutionMode = ExecutionMode.ADAPTIVE,
+                          batch_size: int = 10,
+                          keep_outputs: bool = False,
+                          keep_output_diffs: bool = False,
+                          cost_metric: str = "wall") -> CollectionRunResult:
+        """Execute the computation across every view of the collection.
+
+        ``cost_metric`` selects what feeds the adaptive cost models:
+        ``wall`` (seconds, as the paper) or ``work`` (deterministic record
+        counts — useful for reproducible tests).
+        """
+        if cost_metric not in ("wall", "work"):
+            raise ComputationError(f"unknown cost metric {cost_metric!r}")
+        splitter = AdaptiveSplitter(batch_size=batch_size)
+        results: List[ViewRunResult] = []
+        split_points: List[int] = []
+        dataflow: Optional[Dataflow] = None
+        capture: Optional[CaptureOp] = None
+        total_started = time.perf_counter()
+        for index, view_name in enumerate(collection.view_names):
+            view_size = collection.view_sizes[index]
+            diff_size = collection.diff_sizes[index]
+            strategy = self._choose(mode, splitter, index, view_size,
+                                    diff_size, dataflow)
+            if strategy is SplitDecision.SCRATCH and index > 0:
+                split_points.append(index)
+            started = time.perf_counter()
+            if strategy is SplitDecision.SCRATCH or dataflow is None:
+                dataflow, capture = self._fresh_dataflow(computation)
+                feed = edge_diff_to_input(
+                    collection.full_view_edges(index),
+                    directed=computation.directed)
+            else:
+                feed = collection.input_diff_for_view(
+                    index, directed=computation.directed)
+            before = dataflow.meter.snapshot()
+            epoch = dataflow.step({"edges": feed})
+            after = dataflow.meter.snapshot()
+            spent = before.delta(after)
+            wall = time.perf_counter() - started
+            assert capture is not None
+            output_diff = capture.diff_at((epoch,))
+            result = ViewRunResult(
+                view_name=view_name,
+                strategy=strategy,
+                wall_seconds=wall,
+                work=spent.total_work,
+                parallel_time=spent.parallel_time,
+                view_size=view_size,
+                diff_size=diff_size,
+                output_diff_size=len(output_diff),
+                output=(capture.value_at_epoch(epoch)
+                        if keep_outputs else None),
+                output_diff=(output_diff if keep_output_diffs else None),
+            )
+            results.append(result)
+            cost = wall if cost_metric == "wall" else float(spent.total_work)
+            if strategy is SplitDecision.SCRATCH:
+                splitter.observe_scratch(view_size, cost)
+            else:
+                splitter.observe_differential(diff_size, cost)
+        return CollectionRunResult(
+            computation=computation.name,
+            collection=collection.name,
+            mode=mode,
+            views=results,
+            total_wall_seconds=time.perf_counter() - total_started,
+            total_work=sum(r.work for r in results),
+            total_parallel_time=sum(r.parallel_time for r in results),
+            split_points=split_points,
+        )
+
+    # -- internals -------------------------------------------------------------------
+
+    def _choose(self, mode: ExecutionMode, splitter: AdaptiveSplitter,
+                index: int, view_size: int, diff_size: int,
+                dataflow: Optional[Dataflow]) -> SplitDecision:
+        if mode is ExecutionMode.DIFF_ONLY:
+            # The very first view necessarily computes from nothing; calling
+            # it differential keeps the single-dataflow semantics.
+            return (SplitDecision.SCRATCH if dataflow is None
+                    else SplitDecision.DIFFERENTIAL)
+        if mode is ExecutionMode.SCRATCH:
+            return SplitDecision.SCRATCH
+        return splitter.decide(index, view_size, diff_size)
+
+    def _fresh_dataflow(self, computation: GraphComputation):
+        dataflow = Dataflow(workers=self.workers)
+        edges = dataflow.new_input("edges")
+        result = computation.build(dataflow, edges)
+        if result.scope is not dataflow.root:
+            raise ComputationError(
+                f"{computation.name}: build() must return a root-scope "
+                f"collection")
+        capture = dataflow.capture(result, "results")
+        return dataflow, capture

@@ -1,0 +1,138 @@
+"""Christofides' 1.5-approximation for metric TSP.
+
+Pipeline: minimum spanning tree (Prim) → minimum-weight perfect matching of
+the odd-degree vertices (Blossom algorithm via networkx) → Eulerian circuit
+of the union multigraph (Hierholzer) → shortcut repeated vertices.
+
+The Hamming-distance graph of the padded EBM satisfies the triangle
+inequality (Haddadi & Layouni 2008), so the 1.5 bound applies and COP
+inherits a factor-3 guarantee (paper §4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import OrderingError
+
+
+def prim_mst(weights: np.ndarray) -> List[tuple]:
+    """Minimum spanning tree edges of a complete graph (Prim's algorithm)."""
+    n = weights.shape[0]
+    if n == 0:
+        return []
+    in_tree = [False] * n
+    best_cost = [np.inf] * n
+    best_edge = [-1] * n
+    best_cost[0] = 0
+    edges: List[tuple] = []
+    for _ in range(n):
+        u = -1
+        for v in range(n):
+            if not in_tree[v] and (u == -1 or best_cost[v] < best_cost[u]):
+                u = v
+        in_tree[u] = True
+        if best_edge[u] >= 0:
+            edges.append((best_edge[u], u))
+        for v in range(n):
+            if not in_tree[v] and weights[u, v] < best_cost[v]:
+                best_cost[v] = weights[u, v]
+                best_edge[v] = u
+    return edges
+
+
+def _min_weight_perfect_matching(odd: List[int], weights: np.ndarray) -> List[tuple]:
+    """Minimum-weight perfect matching on the odd-degree vertices.
+
+    Uses the Blossom algorithm through networkx's ``min_weight_matching``;
+    the vertex count is the number of views + 1, so this stays tiny.
+    """
+    graph = nx.Graph()
+    for i, u in enumerate(odd):
+        for v in odd[i + 1:]:
+            graph.add_edge(u, v, weight=float(weights[u, v]))
+    matching = nx.algorithms.matching.min_weight_matching(graph)
+    if 2 * len(matching) != len(odd):
+        raise OrderingError("matching failed to cover all odd vertices")
+    return [tuple(pair) for pair in matching]
+
+
+def _eulerian_circuit(n: int, multi_edges: List[tuple]) -> List[int]:
+    """Hierholzer's algorithm on an (even-degree) multigraph."""
+    adjacency: Dict[int, List[List]] = {v: [] for v in range(n)}
+    edge_slots = []
+    for idx, (u, v) in enumerate(multi_edges):
+        slot = [u, v, False]
+        edge_slots.append(slot)
+        adjacency[u].append(slot)
+        adjacency[v].append(slot)
+    start = multi_edges[0][0] if multi_edges else 0
+    stack = [start]
+    circuit: List[int] = []
+    pointers = {v: 0 for v in range(n)}
+    while stack:
+        v = stack[-1]
+        advanced = False
+        while pointers[v] < len(adjacency[v]):
+            slot = adjacency[v][pointers[v]]
+            if slot[2]:
+                pointers[v] += 1
+                continue
+            slot[2] = True
+            other = slot[1] if slot[0] == v else slot[0]
+            stack.append(other)
+            advanced = True
+            break
+        if not advanced:
+            circuit.append(stack.pop())
+    circuit.reverse()
+    return circuit
+
+
+def christofides_tour(weights: np.ndarray) -> List[int]:
+    """Return a Hamiltonian tour (vertex list, no repeat of the start).
+
+    ``weights`` must be a symmetric matrix satisfying the triangle
+    inequality (up to the usual metric-TSP caveats).
+    """
+    weights = np.asarray(weights, dtype=float)
+    n = weights.shape[0]
+    if weights.shape != (n, n):
+        raise OrderingError(f"weight matrix must be square, got {weights.shape}")
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+    if n == 2:
+        return [0, 1]
+    mst = prim_mst(weights)
+    degree = [0] * n
+    for u, v in mst:
+        degree[u] += 1
+        degree[v] += 1
+    odd = [v for v in range(n) if degree[v] % 2 == 1]
+    matching = _min_weight_perfect_matching(odd, weights) if odd else []
+    circuit = _eulerian_circuit(n, mst + matching)
+    seen = set()
+    tour: List[int] = []
+    for v in circuit:
+        if v not in seen:
+            seen.add(v)
+            tour.append(v)
+    if len(tour) != n:
+        raise OrderingError(
+            f"tour covers {len(tour)} of {n} vertices; multigraph was not "
+            f"connected")
+    return tour
+
+
+def tour_length(weights: np.ndarray, tour: List[int]) -> float:
+    """Cyclic tour length under ``weights``."""
+    total = 0.0
+    for i, u in enumerate(tour):
+        v = tour[(i + 1) % len(tour)]
+        total += float(weights[u, v])
+    return total

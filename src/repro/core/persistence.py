@@ -1,0 +1,78 @@
+"""Persistence for materialized view collections.
+
+The paper's Storage Manager persists views and collections so analytics can
+run in later sessions without re-materializing. We serialize a
+:class:`MaterializedCollection` to a compact JSON document: edge tuples are
+interned into a table and difference sets reference them by index.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.view_collection import MaterializedCollection
+from repro.errors import StoreError
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_collection(collection: MaterializedCollection,
+                    path: PathLike) -> None:
+    """Write a collection's difference stream and metadata to ``path``."""
+    edge_index: Dict[tuple, int] = {}
+    edge_table: List[list] = []
+    diffs_encoded = []
+    for diff in collection.diffs:
+        encoded = []
+        for edge, mult in diff.items():
+            index = edge_index.get(edge)
+            if index is None:
+                index = len(edge_table)
+                edge_index[edge] = index
+                edge_table.append(list(edge))
+            encoded.append([index, mult])
+        diffs_encoded.append(encoded)
+    document = {
+        "format": _FORMAT_VERSION,
+        "name": collection.name,
+        "source": collection.source,
+        "view_names": collection.view_names,
+        "edges": edge_table,
+        "diffs": diffs_encoded,
+        "creation_seconds": collection.creation_seconds,
+    }
+    Path(path).write_text(json.dumps(document))
+
+
+def load_collection(path: PathLike) -> MaterializedCollection:
+    """Read a collection previously written by :func:`save_collection`."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise StoreError(f"cannot read collection from {path}: {error}") \
+            from None
+    if document.get("format") != _FORMAT_VERSION:
+        raise StoreError(
+            f"unsupported collection format {document.get('format')!r} "
+            f"in {path}")
+    edge_table = [tuple(edge) for edge in document["edges"]]
+    diffs = []
+    for encoded in document["diffs"]:
+        diffs.append({edge_table[index]: mult for index, mult in encoded})
+    from repro.core.diff_stream import diff_sizes, view_sizes_from_diffs
+
+    return MaterializedCollection(
+        name=document["name"],
+        source=document["source"],
+        view_names=list(document["view_names"]),
+        diffs=diffs,
+        view_sizes=view_sizes_from_diffs(diffs),
+        diff_sizes=diff_sizes(diffs),
+        creation_seconds=float(document.get("creation_seconds", 0.0)),
+        ordering=None,
+        ebm=None,
+    )

@@ -1,0 +1,11 @@
+"""Adaptive collection splitting (paper §5).
+
+Decides at run time, per batch of views, whether to maintain the analytics
+computation differentially or to re-run it from scratch, using two simple
+linear cost models fed by observed runtimes.
+"""
+
+from repro.core.splitting.model import LinearCostModel
+from repro.core.splitting.optimizer import AdaptiveSplitter, SplitDecision
+
+__all__ = ["LinearCostModel", "AdaptiveSplitter", "SplitDecision"]

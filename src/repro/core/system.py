@@ -1,0 +1,205 @@
+"""The Graphsurge facade (paper Figure 4).
+
+Ties together the stores, GVDL, the view-collection pipeline, and the
+analytics executor::
+
+    gs = Graphsurge()
+    gs.load_graph("Calls", "nodes.csv", "edges.csv")
+    gs.execute("create view long on Calls edges where duration > 10")
+    gs.execute('''create view collection hist on Calls
+                  [y2018: year <= 2018], [y2019: year <= 2019]''')
+    result = gs.run_analytics(Wcc(), "hist", mode=ExecutionMode.ADAPTIVE)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.core.aggregates import compute_aggregate_view
+from repro.core.computation import GraphComputation
+from repro.core.executor import (
+    AnalyticsExecutor,
+    CollectionRunResult,
+    ExecutionMode,
+    ViewRunResult,
+)
+from repro.core.view_collection import (
+    MaterializedCollection,
+    ViewCollectionDefinition,
+)
+from repro.errors import UnknownGraphError
+from repro.graph.csv_loader import load_graph_csv
+from repro.graph.edge_stream import EdgeStream
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.store import GraphStore, ViewStore
+from repro.gvdl.ast import (
+    AggregateViewStmt,
+    FilteredViewStmt,
+    Statement,
+    ViewCollectionStmt,
+)
+from repro.gvdl.parser import parse_program
+from repro.gvdl.predicate import compile_predicate
+
+
+class Graphsurge:
+    """A Graphsurge session: graphs, views, collections, analytics.
+
+    Parameters:
+
+    * ``workers`` — simulated worker count for the execution layer.
+    * ``order_collections`` — default ordering method applied when
+      materializing view collections (``identity`` keeps the user order;
+      ``christofides`` enables the §4 optimizer).
+    """
+
+    def __init__(self, workers: int = 1,
+                 order_collections: str = "identity",
+                 weight_property: Optional[str] = None):
+        self.workers = workers
+        self.order_collections = order_collections
+        self.weight_property = weight_property
+        self.graphs = GraphStore()
+        self.views = ViewStore()
+        self.executor = AnalyticsExecutor(workers=workers)
+
+    # -- graph management ---------------------------------------------------------
+
+    def load_graph(self, name: str, nodes_csv, edges_csv) -> PropertyGraph:
+        """Import a base graph from CSV files (paper §3)."""
+        graph = load_graph_csv(name, nodes_csv, edges_csv)
+        self.graphs.add(graph, name)
+        return graph
+
+    def add_graph(self, graph: PropertyGraph,
+                  name: Optional[str] = None) -> None:
+        """Register an in-memory graph (e.g. from the dataset generators)."""
+        self.graphs.add(graph, name)
+
+    def resolve(self, name: str) -> PropertyGraph:
+        """Find a base graph or a materialized (filtered/aggregate) view."""
+        if name in self.graphs:
+            return self.graphs.get(name)
+        if self.views.has_view(name):
+            return self.views.get_view(name)
+        raise UnknownGraphError(f"unknown graph or view {name!r}")
+
+    # -- GVDL ------------------------------------------------------------------------
+
+    def execute(self, gvdl_text: str) -> List[str]:
+        """Run one or more GVDL statements; returns created object names."""
+        created: List[str] = []
+        for statement in parse_program(gvdl_text):
+            created.append(self._execute_statement(statement))
+        return created
+
+    def _execute_statement(self, statement: Statement) -> str:
+        if isinstance(statement, FilteredViewStmt):
+            self._create_filtered_view(statement)
+        elif isinstance(statement, ViewCollectionStmt):
+            self._create_collection(statement)
+        elif isinstance(statement, AggregateViewStmt):
+            self._create_aggregate_view(statement)
+        else:  # pragma: no cover - parser produces only the above
+            raise TypeError(f"unknown statement {statement!r}")
+        return statement.name
+
+    def _create_filtered_view(self, statement: FilteredViewStmt) -> None:
+        base = self.resolve(statement.source)
+        evaluate = compile_predicate(
+            statement.predicate, base.edge_schema, base.node_schema)
+        view = base.filter_edges(
+            lambda edge, src, dst: evaluate(edge.properties, src, dst),
+            name=statement.name)
+        self.views.add_view(statement.name, view)
+
+    def _create_collection(self, statement: ViewCollectionStmt) -> None:
+        base = self.resolve(statement.source)
+        definition = ViewCollectionDefinition(
+            statement.name, statement.source, statement.views)
+        collection = definition.materialize(
+            base,
+            order_method=self.order_collections,
+            workers=self.workers,
+            weight_property=self.weight_property,
+        )
+        self.views.add_collection(statement.name, collection)
+
+    def _create_aggregate_view(self, statement: AggregateViewStmt) -> None:
+        base = self.resolve(statement.source)
+        view = compute_aggregate_view(base, statement)
+        self.views.add_view(statement.name, view)
+
+    def explain(self, name: str) -> str:
+        """Summarize a materialized collection (similarity, split hints)."""
+        from repro.core.diagnostics import summarize_collection
+
+        collection = self.views.get_collection(name)
+        return summarize_collection(collection).render()
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save_session(self, directory) -> None:
+        """Persist base graphs, materialized views, and collections.
+
+        Layout: ``graphs/`` and ``views/`` hold CSV graph stores;
+        ``collections/`` holds one JSON file per collection.
+        """
+        from pathlib import Path
+
+        from repro.core.persistence import save_collection
+        from repro.graph.store import GraphStore
+
+        directory = Path(directory)
+        self.graphs.save(directory / "graphs")
+        view_store = GraphStore()
+        for name in self.views.view_names():
+            view_store.add(self.views.get_view(name), name)
+        view_store.save(directory / "views")
+        collections_dir = directory / "collections"
+        collections_dir.mkdir(parents=True, exist_ok=True)
+        for name in self.views.collection_names():
+            save_collection(self.views.get_collection(name),
+                            collections_dir / f"{name}.json")
+
+    @classmethod
+    def load_session(cls, directory, **kwargs) -> "Graphsurge":
+        """Restore a session written by :meth:`save_session`."""
+        from pathlib import Path
+
+        from repro.core.persistence import load_collection
+        from repro.graph.store import GraphStore
+
+        directory = Path(directory)
+        session = cls(**kwargs)
+        session.graphs = GraphStore.load(directory / "graphs")
+        views_dir = directory / "views"
+        if (views_dir / "manifest.json").exists():
+            for name in (loaded := GraphStore.load(views_dir)).names():
+                session.views.add_view(name, loaded.get(name))
+        collections_dir = directory / "collections"
+        if collections_dir.is_dir():
+            for path in sorted(collections_dir.glob("*.json")):
+                collection = load_collection(path)
+                session.views.add_collection(collection.name, collection)
+        return session
+
+    # -- analytics ----------------------------------------------------------------------
+
+    def run_analytics(self, computation: GraphComputation, target: str,
+                      mode: ExecutionMode = ExecutionMode.ADAPTIVE,
+                      batch_size: int = 10,
+                      keep_outputs: bool = False,
+                      cost_metric: str = "wall"
+                      ) -> Union[ViewRunResult, CollectionRunResult]:
+        """Run a computation on a view, base graph, or view collection."""
+        if self.views.has_collection(target):
+            collection: MaterializedCollection = \
+                self.views.get_collection(target)
+            return self.executor.run_on_collection(
+                computation, collection, mode=mode, batch_size=batch_size,
+                keep_outputs=keep_outputs, cost_metric=cost_metric)
+        graph = self.resolve(target)
+        edges = EdgeStream.from_graph(graph, weight=self.weight_property)
+        return self.executor.run_on_view(computation, edges,
+                                         keep_output=True)

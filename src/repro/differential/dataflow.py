@@ -1,0 +1,173 @@
+"""Dataflow construction and the epoch driver.
+
+A :class:`Dataflow` owns the operator DAG, the scope tree, and the work
+meter. Inputs are fed one *epoch* at a time with :meth:`Dataflow.step`; when
+executing a Graphsurge view collection, epoch ``t`` is view ``t`` and the
+fed differences are the collection's edge difference sets (paper §3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.differential.collection import Collection
+from repro.differential.multiset import Diff
+from repro.differential.operators.base import Operator
+from repro.differential.operators.io import CaptureOp, InputOp
+from repro.errors import DataflowError
+from repro.timely.meter import WorkMeter
+
+
+class Scope:
+    """A nesting level of the dataflow; each ``iterate`` adds one."""
+
+    def __init__(self, dataflow: "Dataflow", parent: Optional["Scope"]):
+        self.dataflow = dataflow
+        self.parent = parent
+        self.depth = 1 if parent is None else parent.depth + 1
+        self.children: List["Scope"] = []
+        if parent is not None:
+            parent.children.append(self)
+
+    def enter(self, collection: Collection) -> Collection:
+        """Bring a collection from an ancestor scope into this scope.
+
+        Chains one ``enter`` per nesting level, so a root-scope collection
+        can be brought directly into a doubly-nested scope.
+        """
+        from repro.differential.operators.iterate import EnterOp
+
+        path: List[Scope] = []
+        scope: Optional[Scope] = self
+        while scope is not None and scope is not collection.scope:
+            path.append(scope)
+            scope = scope.parent
+        if scope is None:
+            raise DataflowError(
+                "enter() requires the collection to come from an ancestor "
+                "scope")
+        current = collection
+        for target in reversed(path):
+            op = EnterOp(self.dataflow, current.scope, "enter", current.op)
+            current = Collection(self.dataflow, op, target)
+        return current
+
+    def is_ancestor_of(self, other: "Scope") -> bool:
+        scope: Optional[Scope] = other
+        while scope is not None:
+            if scope is self:
+                return True
+            scope = scope.parent
+        return False
+
+
+class Dataflow:
+    """An executable differential dataflow."""
+
+    def __init__(self, workers: int = 1, meter: Optional[WorkMeter] = None):
+        self.meter = meter if meter is not None else WorkMeter(workers)
+        self.root = Scope(self, None)
+        self._ops_by_scope: Dict[Scope, List[Operator]] = {self.root: []}
+        self._op_count = 0
+        self._subtree_cache: Dict[Scope, List[Operator]] = {}
+        self.inputs: Dict[str, InputOp] = {}
+        self.epoch = -1
+        self._frozen = False
+
+    # -- construction ---------------------------------------------------------
+
+    def register(self, op: Operator, scope: Scope) -> int:
+        if self._frozen:
+            raise DataflowError(
+                "cannot add operators after the dataflow started stepping")
+        self._ops_by_scope.setdefault(scope, []).append(op)
+        self._subtree_cache.clear()
+        self._op_count += 1
+        return self._op_count - 1
+
+    def new_scope(self, parent: Scope) -> Scope:
+        scope = Scope(self, parent)
+        self._ops_by_scope.setdefault(scope, [])
+        return scope
+
+    def move_to_scope_end(self, op: Operator) -> None:
+        """Re-append an operator so it is flushed after its scope peers.
+
+        Used by ``iterate``: the IterateOp is created before the body (and
+        before the body's ``enter`` operators in the parent scope), but must
+        run after the entered sources have delivered this epoch's deltas.
+        """
+        ops = self._ops_by_scope[op.scope]
+        ops.remove(op)
+        ops.append(op)
+        self._subtree_cache.clear()
+
+    def new_input(self, name: str) -> Collection:
+        """Declare a named root-scope input."""
+        if name in self.inputs:
+            raise DataflowError(f"duplicate input name {name!r}")
+        op = InputOp(self, self.root, name)
+        self.inputs[name] = op
+        return Collection(self, op, self.root)
+
+    def capture(self, collection: Collection, name: str = "out") -> CaptureOp:
+        """Attach an output sink to a root-scope collection."""
+        if collection.scope is not self.root:
+            raise DataflowError("outputs must be captured at the root scope")
+        return collection.capture(name)
+
+    # -- execution -------------------------------------------------------------
+
+    def scope_subtree_ops(self, scope: Scope) -> List[Operator]:
+        cached = self._subtree_cache.get(scope)
+        if cached is None:
+            cached = []
+            stack = [scope]
+            while stack:
+                current = stack.pop()
+                cached.extend(self._ops_by_scope.get(current, ()))
+                stack.extend(current.children)
+            self._subtree_cache[scope] = cached
+        return cached
+
+    def step(self, input_diffs: Optional[Dict[str, Diff]] = None) -> int:
+        """Advance one epoch, feeding the given per-input differences.
+
+        Returns the epoch index just processed. Runs the dataflow to
+        quiescence: every operator's scheduled work for this epoch (at any
+        loop depth) is drained before returning.
+        """
+        self._frozen = True
+        self.epoch += 1
+        time = (self.epoch,)
+        if input_diffs:
+            for name, diff in input_diffs.items():
+                op = self.inputs.get(name)
+                if op is None:
+                    raise DataflowError(f"unknown input {name!r}")
+                op.push(time, diff)
+        root_ops = self._ops_by_scope[self.root]
+        subtree = self.scope_subtree_ops(self.root)
+        max_passes = 4 * len(subtree) + 8
+        for _pass in range(max_passes):
+            # One pass over the root scope at this timestamp is one
+            # superstep: timely workers run all operators of the pass
+            # data-parallel and synchronize at its end. Nested loop passes
+            # (inside IterateOp.flush) open their own superstep frames.
+            self.meter.begin_step()
+            for op in root_ops:
+                op.flush(time)
+            self.meter.end_step()
+            if not self._has_pending(subtree, time):
+                return self.epoch
+        raise DataflowError(
+            f"dataflow failed to quiesce at epoch {self.epoch}")
+
+    @staticmethod
+    def _has_pending(ops: Iterable[Operator], prefix) -> bool:
+        plen = len(prefix)
+        for op in ops:
+            for t in op.pending_times():
+                if t[:plen] == prefix:
+                    return True
+        return False

@@ -1,0 +1,89 @@
+"""Multisets with signed multiplicities — the values of difference streams.
+
+Differential dataflow streams are multisets of records; a *difference* is a
+multiset in which records may carry negative multiplicities (deletions).
+We represent them as plain ``dict[record, int]`` for speed and provide the
+handful of algebraic helpers the operators need. All helpers drop
+zero-multiplicity entries ("consolidation"), which is what guarantees that a
+converged computation produces empty differences.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Tuple
+
+Diff = Dict[Any, int]
+
+
+def consolidate(diff: Diff) -> Diff:
+    """Drop zero-multiplicity entries (in place) and return the dict."""
+    dead = [rec for rec, mult in diff.items() if mult == 0]
+    for rec in dead:
+        del diff[rec]
+    return diff
+
+
+def add_into(target: Diff, source: Diff, factor: int = 1) -> Diff:
+    """``target += factor * source`` with consolidation of touched keys."""
+    for rec, mult in source.items():
+        new = target.get(rec, 0) + factor * mult
+        if new == 0:
+            target.pop(rec, None)
+        else:
+            target[rec] = new
+    return target
+
+
+def subtract(a: Diff, b: Diff) -> Diff:
+    """Return ``a - b`` as a new consolidated dict."""
+    out = dict(a)
+    return add_into(out, b, factor=-1)
+
+
+def negate(diff: Diff) -> Diff:
+    """Return ``-diff`` as a new dict."""
+    return {rec: -mult for rec, mult in diff.items()}
+
+
+def from_records(records: Iterable[Any]) -> Diff:
+    """Build a +1-per-record multiset from an iterable of records."""
+    out: Diff = {}
+    for rec in records:
+        out[rec] = out.get(rec, 0) + 1
+    return consolidate(out)
+
+
+def from_weighted(pairs: Iterable[Tuple[Any, int]]) -> Diff:
+    """Build a multiset from (record, multiplicity) pairs."""
+    out: Diff = {}
+    for rec, mult in pairs:
+        new = out.get(rec, 0) + mult
+        if new == 0:
+            out.pop(rec, None)
+        else:
+            out[rec] = new
+    return out
+
+
+def is_empty(diff: Diff) -> bool:
+    """True when the consolidated multiset carries no records."""
+    return not diff or all(mult == 0 for mult in diff.values())
+
+
+def size(diff: Diff) -> int:
+    """Total absolute multiplicity — the paper's "number of differences"."""
+    return sum(abs(mult) for mult in diff.values())
+
+
+def assert_nonnegative(diff: Diff, context: str = "") -> None:
+    """Raise if any record has negative multiplicity.
+
+    Collections that represent *data* (as opposed to differences) must be
+    genuine multisets; this is used by tests and debug assertions.
+    """
+    for rec, mult in diff.items():
+        if mult < 0:
+            raise ValueError(
+                f"negative multiplicity {mult} for record {rec!r}"
+                + (f" in {context}" if context else "")
+            )

@@ -1,0 +1,105 @@
+"""Shared arrangements.
+
+In Differential Dataflow, ``arrange_by_key`` materializes a collection's
+difference trace once and lets many downstream operators read the same
+index instead of each building a private copy — a major memory and
+maintenance saving when e.g. the edges relation feeds several joins.
+
+``ArrangeOp`` stores the trace and forwards differences; a
+``JoinArrangedOp`` keeps a private trace only for its *other* input and
+reads the arranged side from the shared trace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.differential.multiset import Diff, consolidate
+from repro.differential.operators.base import Operator
+from repro.differential.timestamp import Time, lub
+from repro.differential.trace import Trace
+
+
+class ArrangeOp(Operator):
+    """Materialize a keyed collection's trace; forward its differences."""
+
+    def __init__(self, dataflow, scope, name, source):
+        super().__init__(dataflow, scope, name, [source])
+        self.trace = Trace(name + ".trace")
+
+    def on_delta(self, port: int, time: Time, diff: Diff) -> None:
+        for rec, mult in diff.items():
+            try:
+                key, value = rec
+            except (TypeError, ValueError):
+                raise TypeError(
+                    f"arrange input records must be (key, value) pairs; "
+                    f"operator {self.name} got {rec!r}"
+                ) from None
+            self.trace.update(key, time, {value: mult})
+            self.dataflow.meter.record(key)
+        self.send(time, diff)
+
+
+class JoinArrangedOp(Operator):
+    """Join a stream (port 0) against a shared arrangement (port 1).
+
+    Port 0 differences pair against the arrangement's full trace; the
+    arrangement's forwarded differences pair against the private port-0
+    trace. Each difference pair is counted exactly once, as in
+    :class:`repro.differential.operators.join.JoinOp` — but the arranged
+    side's trace is stored once no matter how many joins read it.
+    """
+
+    def __init__(self, dataflow, scope, name, left, arrange_op: ArrangeOp,
+                 f: Callable[[Any, Any, Any], Any]):
+        super().__init__(dataflow, scope, name, [left, arrange_op])
+        self.f = f
+        self.arranged = arrange_op.trace
+        self.left_trace = Trace(name + ".left")
+
+    def on_delta(self, port: int, time: Time, diff: Diff) -> None:
+        meter = self.dataflow.meter
+        outputs: Dict[Time, Diff] = {}
+        for rec, mult in diff.items():
+            try:
+                key, value = rec
+            except (TypeError, ValueError):
+                raise TypeError(
+                    f"join input records must be (key, value) pairs; "
+                    f"operator {self.name} got {rec!r}"
+                ) from None
+            meter.record(key)
+            if port == 0:
+                # Store first so later arranged diffs at this time pair
+                # against it; then match the arrangement as of now (which
+                # includes arranged diffs that arrived earlier, and not
+                # ones still to come — exactly-once pairing).
+                self.left_trace.update(key, time, {value: mult})
+                self.arranged.maybe_compact(key, time[0])
+                other = self.arranged.get(key)
+                if other is None:
+                    continue
+                for t2, vals in other.entries.items():
+                    out_time = lub(time, t2)
+                    slot = outputs.setdefault(out_time, {})
+                    for v2, m2 in vals.items():
+                        meter.record(key)
+                        out = self.f(key, value, v2)
+                        slot[out] = slot.get(out, 0) + mult * m2
+            else:
+                # The ArrangeOp already stored this diff before forwarding;
+                # pair it against the private left trace only.
+                self.left_trace.maybe_compact(key, time[0])
+                mine = self.left_trace.get(key)
+                if mine is None:
+                    continue
+                for t2, vals in mine.entries.items():
+                    out_time = lub(time, t2)
+                    slot = outputs.setdefault(out_time, {})
+                    for v2, m2 in vals.items():
+                        meter.record(key)
+                        out = self.f(key, v2, value)
+                        slot[out] = slot.get(out, 0) + mult * m2
+        for out_time in sorted(outputs):
+            self.send(out_time, consolidate(outputs[out_time]))

@@ -1,0 +1,278 @@
+"""Iterative scopes: ``enter``, the loop variable, and ``iterate`` itself.
+
+An ``iterate`` scope computes the fixed point of a body function::
+
+    V(e, 0)   = In(e)
+    V(e, i+1) = Body(V)(e, i)
+
+Per epoch, the scope driver advances the loop counter until no operator in
+the scope's subtree holds scheduled work for this epoch — i.e. until the
+computation's differences are empty, which by the differential-computation
+model means the fixed point is reached. Prior epochs' difference histories
+are respected: a later epoch re-runs exactly the (key, iteration) pairs at
+which its trajectory diverges from (or must cancel) earlier epochs'.
+
+``leave`` projects the inner time away by summing a key's inner-scope
+differences per outer timestamp, which is exactly the value of the loop
+variable "at iteration infinity".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.differential.multiset import Diff, add_into, consolidate
+from repro.differential.operators.base import Operator
+from repro.differential.timestamp import Time
+from repro.differential.trace import TimeSchedule, Trace
+from repro.errors import DataflowError
+
+#: Hard cap on loop iterations when the user supplies no ``max_iters`` —
+#: purely a safety net against non-converging computations.
+SAFETY_MAX_ITERS = 100_000
+
+
+class EnterOp(Operator):
+    """Bring a parent-scope collection into a child scope.
+
+    A parent difference at time ``t`` becomes a child difference at
+    ``t + (0,)``; the product partial order then makes it visible at every
+    iteration, so entered collections (e.g. the edges) are constant across
+    the loop.
+    """
+
+    def __init__(self, dataflow, parent_scope, name, source):
+        super().__init__(dataflow, parent_scope, name, [source])
+
+    def on_delta(self, port: int, time: Time, diff: Diff) -> None:
+        self.send(time + (0,), diff)
+
+
+class VariableOp(Operator):
+    """The loop variable ``V`` of an iterate scope.
+
+    Keyed operator with two logical inputs:
+
+    * port 0 — the initial value ``In`` (parent scope, timestamps shifted
+      into the child scope at iteration 0);
+    * port 1 — the body result ``B`` (child scope, shifted one iteration
+      forward: ``δB(e, i)`` drives a recomputation of ``V`` at ``(e, i+1)``).
+
+    At iteration 0 the target value is ``In``; at iteration ``i >= 1`` the
+    target is ``B`` accumulated at ``(e, i-1)``.
+    """
+
+    def __init__(self, dataflow, child_scope, name):
+        super().__init__(dataflow, child_scope, name, [])
+        self.in_trace = Trace(name + ".in")
+        self.body_trace = Trace(name + ".body")
+        self.out_trace = Trace(name + ".out")
+        self.schedule = TimeSchedule()
+
+    def connect_body(self, body_op: Operator) -> None:
+        if len(self.inputs) > 0:
+            raise DataflowError(f"variable {self.name} already has a body")
+        self.inputs.append(body_op)
+        body_op.downstream.append((self, 1))
+
+    def push_initial(self, parent_time: Time, diff: Diff) -> None:
+        """Deliver the initial-value diff (from the parent scope)."""
+        time = parent_time + (0,)
+        switch = parent_time + (1,)
+        for rec, mult in diff.items():
+            key, value = self._split(rec)
+            self.in_trace.update(key, time, {value: mult})
+            self.schedule.schedule(key, time)
+            # At iteration 1 the variable's definition switches from the
+            # initial value to the body result; a key the body never
+            # reproduces must be retracted there even though the body
+            # emits no difference for it.
+            self.schedule.schedule(key, switch)
+
+    def on_delta(self, port: int, time: Time, diff: Diff) -> None:
+        if port != 1:
+            raise AssertionError("variable body deltas arrive on port 1")
+        shifted = time[:-1] + (time[-1] + 1,)
+        for rec, mult in diff.items():
+            key, value = self._split(rec)
+            self.body_trace.update(key, time, {value: mult})
+            self.schedule.schedule(key, shifted)
+
+    @staticmethod
+    def _split(rec: Any):
+        try:
+            key, value = rec
+        except (TypeError, ValueError):
+            raise TypeError(
+                f"iterate collections must carry (key, value) records; "
+                f"got {rec!r}"
+            ) from None
+        return key, value
+
+    def flush(self, time: Time) -> None:
+        keys = self.schedule.tasks_at(time)
+        if not keys:
+            return
+        meter = self.dataflow.meter
+        iteration = time[-1]
+        epoch = time[0]
+        out_diff: Diff = {}
+        for key in keys:
+            self.in_trace.maybe_compact(key, epoch)
+            self.body_trace.maybe_compact(key, epoch)
+            self.out_trace.maybe_compact(key, epoch)
+            if iteration == 0:
+                target = self.in_trace.accumulate(key, time)
+            else:
+                body_time = time[:-1] + (iteration - 1,)
+                target = self.body_trace.accumulate(key, body_time)
+            consolidate(target)
+            meter.record(key, max(1, len(target)))
+            current = self.out_trace.accumulate_strict(key, time)
+            delta = dict(target)
+            add_into(delta, current, factor=-1)
+            prior = self.out_trace.get(key)
+            if prior is not None and time in prior.entries:
+                stored = prior.entries.pop(time)
+            else:
+                stored = {}
+            emit = dict(delta)
+            add_into(emit, stored, factor=-1)
+            if delta:
+                self.out_trace.update(key, time, delta)
+            if emit:
+                meter.record(key, len(emit))
+                for value, mult in emit.items():
+                    rec = (key, value)
+                    out_diff[rec] = out_diff.get(rec, 0) + mult
+        self.send(time, consolidate(out_diff))
+
+    def pending_times(self) -> Iterable[Time]:
+        return self.schedule.pending_times()
+
+    def discard_pending_beyond(self, prefix: Time, max_iter: int) -> None:
+        drop = [
+            t for t in self.schedule.pending_times()
+            if t[:len(prefix)] == prefix and t[len(prefix)] > max_iter
+        ]
+        for t in drop:
+            self.schedule.tasks_at(t)
+
+
+class _LeaveTap(Operator):
+    """Child-scope sink buffering the variable's diffs per outer time."""
+
+    def __init__(self, dataflow, child_scope, name, source):
+        super().__init__(dataflow, child_scope, name, [source])
+        self.buffers: Dict[Time, Diff] = {}
+
+    def on_delta(self, port: int, time: Time, diff: Diff) -> None:
+        outer = time[:-1]
+        slot = self.buffers.get(outer)
+        if slot is None:
+            self.buffers[outer] = dict(diff)
+        else:
+            add_into(slot, diff)
+
+    def take(self, outer: Time) -> Diff:
+        return consolidate(self.buffers.pop(outer, {}))
+
+
+class IterateOp(Operator):
+    """Parent-scope operator that drives a child iterate scope.
+
+    Construction is done by :meth:`Collection.iterate`: it creates the child
+    scope, the variable, runs the user body builder, then finalizes this
+    operator. The operator's own output is the ``leave`` stream of the loop
+    variable.
+    """
+
+    def __init__(self, dataflow, parent_scope, name, source,
+                 max_iters: Optional[int] = None):
+        super().__init__(dataflow, parent_scope, name, [source])
+        self.max_iters = max_iters
+        self.child_scope = dataflow.new_scope(parent_scope)
+        self.variable = VariableOp(dataflow, self.child_scope, name + ".var")
+        self.leave_tap: Optional[_LeaveTap] = None
+        self._finalized = False
+
+    def finalize(self, body_op: Operator) -> None:
+        """Wire the body result back into the variable; add the leave tap."""
+        if self._finalized:
+            raise DataflowError(f"iterate {self.name} finalized twice")
+        self.variable.connect_body(body_op)
+        self.leave_tap = _LeaveTap(
+            self.dataflow, self.child_scope, self.name + ".leave",
+            self.variable,
+        )
+        self._finalized = True
+
+    def on_delta(self, port: int, time: Time, diff: Diff) -> None:
+        # Initial-value diffs from the parent scope.
+        self.variable.push_initial(time, diff)
+
+    def _subtree_ops(self) -> List[Operator]:
+        return self.dataflow.scope_subtree_ops(self.child_scope)
+
+    def flush(self, time: Time) -> None:
+        if not self._finalized:
+            raise DataflowError(f"iterate {self.name} was never finalized")
+        prefix = time
+        plen = len(prefix)
+        limit = self.max_iters if self.max_iters is not None else SAFETY_MAX_ITERS
+        subtree = self._subtree_ops()
+        meter = self.dataflow.meter
+        iteration = 0
+        passes_at_same = 0
+        while True:
+            t = prefix + (iteration,)
+            # One loop iteration pass = one superstep (nested loops open
+            # their own frames inside).
+            meter.begin_step()
+            for op in subtree:
+                if op.scope is self.child_scope:
+                    op.flush(t)
+            meter.end_step()
+            # Find the next iteration with scheduled work under this prefix.
+            nxt: Optional[int] = None
+            for op in subtree:
+                for pt in op.pending_times():
+                    if pt[:plen] == prefix:
+                        it = pt[plen]
+                        if it >= iteration and (nxt is None or it < nxt):
+                            nxt = it
+            if nxt is None:
+                break
+            if nxt == iteration:
+                # New work was scheduled at the current pass's own time
+                # (e.g. by an operator later in topological order); rerun
+                # the pass. Chains are bounded by the DAG depth.
+                passes_at_same += 1
+                if passes_at_same > 4 * len(subtree) + 8:
+                    raise DataflowError(
+                        f"iterate {self.name}: no progress at time {t}"
+                    )
+                continue
+            passes_at_same = 0
+            if nxt > limit:
+                if self.max_iters is None:
+                    raise DataflowError(
+                        f"iterate {self.name} exceeded the safety cap of "
+                        f"{SAFETY_MAX_ITERS} iterations without converging"
+                    )
+                for op in subtree:
+                    op.discard_pending_beyond(prefix, limit)
+                break
+            iteration = nxt
+        assert self.leave_tap is not None
+        self.send(prefix, self.leave_tap.take(prefix))
+
+    def pending_times(self) -> Iterable[Time]:
+        # Ancestor drivers scan every operator in their scope subtree, which
+        # already includes this scope's operators — reporting them here too
+        # would double-count, so the IterateOp itself reports nothing.
+        return ()
+
+    def discard_pending_beyond(self, prefix: Time, max_iter: int) -> None:
+        for op in self._subtree_ops():
+            op.discard_pending_beyond(prefix, max_iter)

@@ -1,0 +1,100 @@
+"""Linear operators: transform each difference independently.
+
+Linearity means ``Op(A + δ) = Op(A) + Op(δ)``, so the operator can forward
+transformed differences immediately without any state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.differential.multiset import Diff, consolidate
+from repro.differential.operators.base import Operator
+from repro.differential.timestamp import Time
+
+
+class MapOp(Operator):
+    """Apply ``f`` to every record. May merge records (diffs then sum)."""
+
+    def __init__(self, dataflow, scope, name, source, f: Callable[[Any], Any]):
+        super().__init__(dataflow, scope, name, [source])
+        self.f = f
+
+    def on_delta(self, port: int, time: Time, diff: Diff) -> None:
+        meter = self.dataflow.meter
+        out: Diff = {}
+        for rec, mult in diff.items():
+            meter.record(rec)
+            new = self.f(rec)
+            out[new] = out.get(new, 0) + mult
+        self.send(time, consolidate(out))
+
+
+class FlatMapOp(Operator):
+    """Apply ``f`` returning any number of records per input record."""
+
+    def __init__(self, dataflow, scope, name, source,
+                 f: Callable[[Any], Iterable[Any]]):
+        super().__init__(dataflow, scope, name, [source])
+        self.f = f
+
+    def on_delta(self, port: int, time: Time, diff: Diff) -> None:
+        meter = self.dataflow.meter
+        out: Diff = {}
+        for rec, mult in diff.items():
+            meter.record(rec)
+            for new in self.f(rec):
+                out[new] = out.get(new, 0) + mult
+        self.send(time, consolidate(out))
+
+
+class FilterOp(Operator):
+    """Keep records satisfying the predicate."""
+
+    def __init__(self, dataflow, scope, name, source,
+                 predicate: Callable[[Any], bool]):
+        super().__init__(dataflow, scope, name, [source])
+        self.predicate = predicate
+
+    def on_delta(self, port: int, time: Time, diff: Diff) -> None:
+        meter = self.dataflow.meter
+        out: Diff = {}
+        for rec, mult in diff.items():
+            meter.record(rec)
+            if self.predicate(rec):
+                out[rec] = out.get(rec, 0) + mult
+        self.send(time, consolidate(out))
+
+
+class ConcatOp(Operator):
+    """Multiset union of any number of inputs."""
+
+    def __init__(self, dataflow, scope, name, sources):
+        super().__init__(dataflow, scope, name, sources)
+
+    def on_delta(self, port: int, time: Time, diff: Diff) -> None:
+        # Forward as-is; diff is read-only so no copy is needed.
+        self.send(time, diff)
+
+
+class NegateOp(Operator):
+    """Flip the sign of every multiplicity (for multiset subtraction)."""
+
+    def __init__(self, dataflow, scope, name, source):
+        super().__init__(dataflow, scope, name, [source])
+
+    def on_delta(self, port: int, time: Time, diff: Diff) -> None:
+        self.send(time, {rec: -mult for rec, mult in diff.items()})
+
+
+class InspectOp(Operator):
+    """Side-effecting tap, mainly for debugging and tests."""
+
+    def __init__(self, dataflow, scope, name, source,
+                 callback: Callable[[Time, Diff], None]):
+        super().__init__(dataflow, scope, name, [source])
+        self.callback = callback
+
+    def on_delta(self, port: int, time: Time, diff: Diff) -> None:
+        self.callback(time, dict(diff))
+        self.send(time, diff)

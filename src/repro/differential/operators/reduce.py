@@ -1,0 +1,104 @@
+"""The keyed reduce family.
+
+``ReduceOp`` applies a user ``logic(key, values)`` to the accumulated
+multiset of a key's values and emits ``(key, out_value)`` records. A key is
+recomputed only at timestamps scheduled by the lub-closure scheduler —
+untouched keys cost nothing, which is precisely the computation sharing
+differential computation provides across the views of a collection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Tuple
+
+from repro.differential.multiset import Diff, add_into, consolidate
+from repro.differential.operators.base import Operator
+from repro.differential.timestamp import Time
+from repro.differential.trace import TimeSchedule, Trace
+
+
+class ReduceOp(Operator):
+    """Generic keyed reduction.
+
+    ``logic(key, values)`` receives the accumulated input values for the key
+    as a dict ``{value: multiplicity}`` with strictly positive
+    multiplicities, and returns an iterable of output values (each emitted
+    with multiplicity 1). When the accumulated input is empty the key's
+    output is empty — ``logic`` is not called.
+    """
+
+    def __init__(self, dataflow, scope, name, source,
+                 logic: Callable[[Any, Dict[Any, int]], Iterable[Any]]):
+        super().__init__(dataflow, scope, name, [source])
+        self.logic = logic
+        self.in_trace = Trace(name + ".in")
+        self.out_trace = Trace(name + ".out")
+        self.schedule = TimeSchedule()
+
+    def on_delta(self, port: int, time: Time, diff: Diff) -> None:
+        for rec, mult in diff.items():
+            try:
+                key, value = rec
+            except (TypeError, ValueError):
+                raise TypeError(
+                    f"reduce input records must be (key, value) pairs; "
+                    f"operator {self.name} got {rec!r}"
+                ) from None
+            self.in_trace.update(key, time, {value: mult})
+            self.schedule.schedule(key, time)
+
+    def flush(self, time: Time) -> None:
+        keys = self.schedule.tasks_at(time)
+        if not keys:
+            return
+        meter = self.dataflow.meter
+        epoch = time[0]
+        out_diff: Diff = {}
+        for key in keys:
+            self.in_trace.maybe_compact(key, epoch)
+            self.out_trace.maybe_compact(key, epoch)
+            acc_in = self.in_trace.accumulate(key, time)
+            consolidate(acc_in)
+            meter.record(key, max(1, len(acc_in)))
+            target: Diff = {}
+            if acc_in:
+                for value, mult in acc_in.items():
+                    if mult < 0:
+                        raise ValueError(
+                            f"reduce {self.name}: key {key!r} accumulated "
+                            f"negative multiplicity {mult} for {value!r} "
+                            f"at {time}"
+                        )
+                for out_value in self.logic(key, acc_in):
+                    target[out_value] = target.get(out_value, 0) + 1
+            current = self.out_trace.accumulate_strict(key, time)
+            # Desired diff at `time`: target minus what earlier times give.
+            delta = dict(target)
+            add_into(delta, current, factor=-1)
+            # Replace whatever we previously stored at exactly `time`.
+            prior = self.out_trace.get(key)
+            if prior is not None and time in prior.entries:
+                stored = prior.entries.pop(time)
+            else:
+                stored = {}
+            emit = dict(delta)
+            add_into(emit, stored, factor=-1)
+            if delta:
+                self.out_trace.update(key, time, delta)
+            if emit:
+                meter.record(key, len(emit))
+                for value, mult in emit.items():
+                    rec = (key, value)
+                    out_diff[rec] = out_diff.get(rec, 0) + mult
+        self.send(time, consolidate(out_diff))
+
+    def pending_times(self) -> Iterable[Time]:
+        return self.schedule.pending_times()
+
+    def discard_pending_beyond(self, prefix: Time, max_iter: int) -> None:
+        drop = [
+            t for t in self.schedule.pending_times()
+            if t[:len(prefix)] == prefix and t[len(prefix)] > max_iter
+        ]
+        for t in drop:
+            self.schedule.tasks_at(t)

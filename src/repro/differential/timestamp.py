@@ -1,0 +1,81 @@
+"""Partially ordered timestamps for differential computation.
+
+Timestamps are tuples of non-negative ints under the *product* partial
+order: ``s <= t`` iff every component of ``s`` is <= the matching component
+of ``t``. The first component is the epoch (the view index when running a
+view collection); each ``iterate`` scope appends one loop-counter component,
+so e.g. a doubly-iterative SCC runs with 3-dimensional times
+``(view, outer_iter, inner_iter)`` exactly as in the paper's Table 1.
+
+Lexicographic order on the tuples is a linear extension of the product order
+and is the order in which the engine processes work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+Time = Tuple[int, ...]
+
+
+def leq(s: Time, t: Time) -> bool:
+    """Product partial order: ``s <= t`` componentwise.
+
+    Times from different scope depths are never comparable; the engine only
+    compares times within one scope, where arities match.
+    """
+    if len(s) != len(t):
+        return False
+    return all(a <= b for a, b in zip(s, t))
+
+
+def lt(s: Time, t: Time) -> bool:
+    """Strict product order."""
+    return s != t and leq(s, t)
+
+
+def lub(s: Time, t: Time) -> Time:
+    """Least upper bound (join) under the product order."""
+    if len(s) != len(t):
+        raise ValueError(f"cannot join times of different arity: {s} vs {t}")
+    return tuple(max(a, b) for a, b in zip(s, t))
+
+
+def glb(s: Time, t: Time) -> Time:
+    """Greatest lower bound (meet) under the product order."""
+    if len(s) != len(t):
+        raise ValueError(f"cannot meet times of different arity: {s} vs {t}")
+    return tuple(min(a, b) for a, b in zip(s, t))
+
+
+def lub_closure(times: Iterable[Time]) -> set:
+    """Close a finite set of times under pairwise joins.
+
+    Differential operators may need to produce output corrections at any
+    join of input-difference times, even when no input difference exists at
+    exactly that time (see DESIGN.md §5). This helper computes the full
+    closure; the engine's keyed operators build it incrementally instead,
+    but tests validate against this reference.
+    """
+    closed = set(times)
+    frontier = list(closed)
+    while frontier:
+        t = frontier.pop()
+        for s in list(closed):
+            j = lub(s, t)
+            if j not in closed:
+                closed.add(j)
+                frontier.append(j)
+    return closed
+
+
+def extend(t: Time, inner: int = 0) -> Time:
+    """Append a loop coordinate (``enter`` in DD terminology)."""
+    return t + (inner,)
+
+
+def truncate(t: Time) -> Time:
+    """Drop the innermost loop coordinate (``leave`` in DD terminology)."""
+    if len(t) < 2:
+        raise ValueError(f"cannot truncate a root-scope time: {t}")
+    return t[:-1]

@@ -1,0 +1,201 @@
+"""Difference traces: per-key histories of timestamped differences.
+
+A trace stores, for each key, the list of ``(time, value-diff)`` entries an
+operator has observed or produced. Keyed operators use traces both to
+*accumulate* a key's state at a time ``t`` (summing entries at times
+``s <= t`` in the product order) and to decide which (key, time) pairs need
+recomputation — the lub-closure scheduling described in DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.differential.multiset import Diff, add_into, consolidate
+from repro.differential.timestamp import Time, leq, lub
+
+
+class KeyTrace:
+    """Trace of differences for the values of a single key."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        # time -> {value: diff multiplicity}
+        self.entries: Dict[Time, Diff] = {}
+
+    def compact_below(self, epoch: int) -> None:
+        """Merge entries from epochs before ``epoch`` per iteration suffix.
+
+        Once every time with epoch < ``epoch`` is in the past of the
+        execution frontier, two entries ``(e1, *s)`` and ``(e2, *s)`` with
+        ``e1, e2 < epoch`` compare identically against every future time,
+        so they can be summed into the representative ``(0, *s)``. This is
+        differential dataflow's trace compaction; it bounds history size by
+        the number of distinct loop-iteration suffixes instead of the
+        number of epochs (views) processed.
+        """
+        merged: Dict[Time, Diff] = {}
+        for time, diff in self.entries.items():
+            rep = (0,) + time[1:] if time[0] < epoch else time
+            slot = merged.get(rep)
+            if slot is None:
+                merged[rep] = dict(diff)
+            else:
+                add_into(slot, diff)
+        self.entries = {t: d for t, d in merged.items() if d}
+
+    def update(self, time: Time, diff: Diff) -> None:
+        slot = self.entries.get(time)
+        if slot is None:
+            self.entries[time] = dict(diff)
+        else:
+            add_into(slot, diff)
+            if not slot:
+                del self.entries[time]
+
+    def accumulate(self, time: Time) -> Diff:
+        """Sum of diffs at all stored times ``s <= time`` (product order)."""
+        acc: Diff = {}
+        for s, diff in self.entries.items():
+            if leq(s, time):
+                add_into(acc, diff)
+        return acc
+
+    def accumulate_strict(self, time: Time) -> Diff:
+        """Like :meth:`accumulate` but excluding ``time`` itself."""
+        acc: Diff = {}
+        for s, diff in self.entries.items():
+            if s != time and leq(s, time):
+                add_into(acc, diff)
+        return acc
+
+    def times(self) -> Iterable[Time]:
+        return self.entries.keys()
+
+    def is_empty(self) -> bool:
+        return not self.entries
+
+
+class Trace:
+    """A keyed difference trace: ``key -> KeyTrace``."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._keys: Dict[Any, KeyTrace] = {}
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._keys
+
+    def key_trace(self, key: Any) -> KeyTrace:
+        trace = self._keys.get(key)
+        if trace is None:
+            trace = KeyTrace()
+            self._keys[key] = trace
+        return trace
+
+    def get(self, key: Any) -> "KeyTrace | None":
+        return self._keys.get(key)
+
+    def update(self, key: Any, time: Time, diff: Diff) -> None:
+        if not diff:
+            return
+        self.key_trace(key).update(time, diff)
+
+    def accumulate(self, key: Any, time: Time) -> Diff:
+        trace = self._keys.get(key)
+        if trace is None:
+            return {}
+        return trace.accumulate(time)
+
+    def accumulate_strict(self, key: Any, time: Time) -> Diff:
+        trace = self._keys.get(key)
+        if trace is None:
+            return {}
+        return trace.accumulate_strict(time)
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self._keys)
+
+    def maybe_compact(self, key: Any, epoch: int,
+                      threshold: int = 24) -> None:
+        """Compact one key's history when it has grown past ``threshold``.
+
+        Called opportunistically by keyed operators right before they scan
+        a key's entries, so only touched keys pay and the cost amortizes
+        into the scan they were about to do anyway.
+        """
+        trace = self._keys.get(key)
+        if trace is not None and len(trace.entries) > threshold:
+            trace.compact_below(epoch)
+
+    def record_count(self) -> int:
+        """Total number of stored (key, time, value) difference entries."""
+        return sum(
+            len(diff)
+            for trace in self._keys.values()
+            for diff in trace.entries.values()
+        )
+
+
+class TimeSchedule:
+    """Incremental lub-closure scheduler for one keyed operator.
+
+    Tracks, per key, the set of times at which that key has (or may need)
+    differences, and maintains a global agenda of pending (time -> keys)
+    recompute tasks. When a new input-difference time ``t`` arrives for a
+    key, every join of ``t`` with the key's previously seen times is also
+    scheduled — output corrections can be required at those joins even
+    without any input difference there.
+    """
+
+    def __init__(self) -> None:
+        self._seen: Dict[Any, Set[Time]] = {}
+        self._agenda: Dict[Time, Set[Any]] = {}
+
+    def schedule(self, key: Any, time: Time) -> None:
+        seen = self._seen.get(key)
+        if seen is None:
+            seen = set()
+            self._seen[key] = seen
+        if len(seen) > 48:
+            # Compact: times from past epochs collapse per iteration suffix
+            # (same argument as KeyTrace.compact_below — their joins with
+            # any current/future time are unchanged).
+            epoch = time[0]
+            seen = {((0,) + s[1:]) if s[0] < epoch else s for s in seen}
+            self._seen[key] = seen
+        if time not in seen:
+            # Extend the key's lub-closure with the new time.
+            frontier: List[Time] = [time]
+            while frontier:
+                u = frontier.pop()
+                if u in seen:
+                    continue
+                seen.add(u)
+                for s in list(seen):
+                    j = lub(s, u)
+                    if j not in seen:
+                        frontier.append(j)
+        # A diff at `time` changes the accumulation at every closure element
+        # >= time, so the key must be recomputed at each of them. Elements
+        # >= time are also lex->= the execution cursor, so no task lands in
+        # the past.
+        for u in seen:
+            if leq(time, u):
+                self._agenda.setdefault(u, set()).add(key)
+
+    def tasks_at(self, time: Time) -> Set[Any]:
+        """Pop and return the keys scheduled at exactly ``time``."""
+        return self._agenda.pop(time, set())
+
+    def pending_times(self) -> Iterable[Time]:
+        return self._agenda.keys()
+
+    def has_pending(self) -> bool:
+        return bool(self._agenda)
+
+
+def consolidate_diff(diff: Diff) -> Diff:
+    """Re-export used by operator modules."""
+    return consolidate(diff)

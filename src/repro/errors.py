@@ -1,0 +1,58 @@
+"""Exception hierarchy for the Graphsurge reproduction.
+
+All library errors derive from :class:`GraphsurgeError` so callers can catch
+a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class GraphsurgeError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GvdlSyntaxError(GraphsurgeError):
+    """A GVDL statement could not be tokenized or parsed.
+
+    Carries the offending position so tools can point at the source text.
+    """
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        self.position = position
+        self.text = text
+        if position >= 0 and text:
+            snippet = text[max(0, position - 20):position + 20]
+            message = f"{message} (at offset {position}: ...{snippet!r}...)"
+        super().__init__(message)
+
+
+class GvdlTypeError(GraphsurgeError):
+    """A GVDL predicate or aggregate references properties inconsistently."""
+
+
+class UnknownGraphError(GraphsurgeError):
+    """A statement referenced a graph or view name that is not in the store."""
+
+
+class UnknownPropertyError(GraphsurgeError):
+    """A predicate referenced a property that does not exist on the graph."""
+
+
+class SchemaError(GraphsurgeError):
+    """Graph data did not conform to the declared schema."""
+
+
+class DataflowError(GraphsurgeError):
+    """The differential dataflow graph was constructed or driven illegally."""
+
+
+class ComputationError(GraphsurgeError):
+    """A user analytics computation misbehaved (bad records, wrong shape)."""
+
+
+class OrderingError(GraphsurgeError):
+    """The collection ordering optimizer was given unusable input."""
+
+
+class StoreError(GraphsurgeError):
+    """Persistence (view store / graph store) failed."""

@@ -1,0 +1,26 @@
+"""Property graphs, CSV import, and the graph/view stores (paper §3).
+
+Graphsurge's storage layer: base graphs are imported from CSV files, every
+node and edge receives a unique 64-bit id, edges are kept as an edge stream
+whose tuples point at the node property store.
+"""
+
+from repro.graph.property_graph import Edge, Node, PropertyGraph
+from repro.graph.schema import PropertyType, Schema
+from repro.graph.csv_loader import load_edges_csv, load_graph_csv, load_nodes_csv
+from repro.graph.edge_stream import EdgeStream
+from repro.graph.store import GraphStore, ViewStore
+
+__all__ = [
+    "Edge",
+    "Node",
+    "PropertyGraph",
+    "PropertyType",
+    "Schema",
+    "load_edges_csv",
+    "load_graph_csv",
+    "load_nodes_csv",
+    "EdgeStream",
+    "GraphStore",
+    "ViewStore",
+]

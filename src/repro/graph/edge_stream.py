@@ -1,0 +1,75 @@
+"""Edge streams: the bridge between stored graphs and the dataflow engine.
+
+An :class:`EdgeStream` is an ordered list of ``(edge_id, src, dst, weight)``
+tuples. View collections are materialized as *difference* edge streams; this
+module provides the conversions in both directions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.differential.multiset import Diff
+from repro.graph.property_graph import PropertyGraph
+
+EdgeTuple = Tuple[int, int, int, int]  # (edge_id, src, dst, weight)
+
+
+class EdgeStream:
+    """A concrete sequence of edge tuples for one graph or view."""
+
+    def __init__(self, edges: Iterable[EdgeTuple] = ()):
+        self.edges: List[EdgeTuple] = list(edges)
+
+    @classmethod
+    def from_graph(cls, graph: PropertyGraph, weight: Optional[str] = None,
+                   default_weight: int = 1) -> "EdgeStream":
+        edges = []
+        for edge in graph.edges:
+            if weight is not None:
+                w = int(edge.properties.get(weight, default_weight))
+            else:
+                w = default_weight
+            edges.append((edge.id, edge.src, edge.dst, w))
+        return cls(edges)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __iter__(self):
+        return iter(self.edges)
+
+    def as_input_diff(self, directed: bool = True) -> Diff:
+        """Render as a +1 multiset of ``(src, (dst, weight))`` records.
+
+        With ``directed=False`` each edge contributes both directions, which
+        is what the symmetric computations (WCC) consume.
+        """
+        diff: Diff = {}
+        for _eid, src, dst, w in self.edges:
+            rec = (src, (dst, w))
+            diff[rec] = diff.get(rec, 0) + 1
+            if not directed:
+                rev = (dst, (src, w))
+                diff[rev] = diff.get(rev, 0) + 1
+        return diff
+
+    def vertices(self) -> set:
+        out = set()
+        for _eid, src, dst, _w in self.edges:
+            out.add(src)
+            out.add(dst)
+        return out
+
+
+def edge_diff_to_input(edge_diff: Dict[EdgeTuple, int],
+                       directed: bool = True) -> Diff:
+    """Convert an edge-tuple difference set to dataflow input records."""
+    diff: Diff = {}
+    for (_eid, src, dst, w), mult in edge_diff.items():
+        rec = (src, (dst, w))
+        diff[rec] = diff.get(rec, 0) + mult
+        if not directed:
+            rev = (dst, (src, w))
+            diff[rev] = diff.get(rev, 0) + mult
+    return {rec: mult for rec, mult in diff.items() if mult != 0}

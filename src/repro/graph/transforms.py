@@ -1,0 +1,91 @@
+"""Graph transformations: reverse, induced subgraphs, relabeling.
+
+Utilities a view-analytics user reaches for when preparing inputs —
+kept out of :class:`PropertyGraph` to keep the core model small.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.errors import SchemaError
+from repro.graph.property_graph import PropertyGraph
+
+
+def reverse(graph: PropertyGraph,
+            name: Optional[str] = None) -> PropertyGraph:
+    """Flip every edge's direction (properties preserved)."""
+    out = PropertyGraph(name or f"{graph.name}-rev",
+                        graph.node_schema, graph.edge_schema)
+    for node in graph.nodes.values():
+        out.add_node(node.id, node.properties)
+    for edge in graph.edges:
+        out.add_edge(edge.dst, edge.src, edge.properties)
+    return out
+
+
+def induced_subgraph(graph: PropertyGraph, nodes: Iterable[int],
+                     name: Optional[str] = None) -> PropertyGraph:
+    """Keep the given nodes and the edges among them."""
+    keep = set(nodes)
+    unknown = keep - set(graph.nodes)
+    if unknown:
+        raise SchemaError(f"unknown node ids {sorted(unknown)[:5]}")
+    out = PropertyGraph(name or f"{graph.name}-sub",
+                        graph.node_schema, graph.edge_schema)
+    for node_id in sorted(keep):
+        out.add_node(node_id, graph.nodes[node_id].properties)
+    for edge in graph.edges:
+        if edge.src in keep and edge.dst in keep:
+            out.add_edge(edge.src, edge.dst, edge.properties)
+    return out
+
+
+def filter_nodes(graph: PropertyGraph,
+                 predicate: Callable[[Dict], bool],
+                 name: Optional[str] = None) -> PropertyGraph:
+    """Induced subgraph of the nodes whose properties pass ``predicate``."""
+    keep = [node.id for node in graph.nodes.values()
+            if predicate(node.properties)]
+    return induced_subgraph(graph, keep, name=name)
+
+
+def relabel(graph: PropertyGraph,
+            mapping: Optional[Dict[int, int]] = None,
+            name: Optional[str] = None) -> PropertyGraph:
+    """Renumber node ids (default: densely from 0 in sorted-id order)."""
+    if mapping is None:
+        mapping = {old: new for new, old in enumerate(sorted(graph.nodes))}
+    if len(set(mapping.values())) != len(mapping):
+        raise SchemaError("relabel mapping is not injective")
+    missing = set(graph.nodes) - set(mapping)
+    if missing:
+        raise SchemaError(f"mapping misses node ids {sorted(missing)[:5]}")
+    out = PropertyGraph(name or f"{graph.name}-relabel",
+                        graph.node_schema, graph.edge_schema)
+    for old in sorted(graph.nodes, key=lambda n: mapping[n]):
+        out.add_node(mapping[old], graph.nodes[old].properties)
+    for edge in graph.edges:
+        out.add_edge(mapping[edge.src], mapping[edge.dst], edge.properties)
+    return out
+
+
+def merge_graphs(a: PropertyGraph, b: PropertyGraph,
+                 name: str = "merged") -> PropertyGraph:
+    """Disjoint-union two graphs with compatible schemas.
+
+    ``b``'s node ids are shifted past ``a``'s maximum id.
+    """
+    if a.node_schema != b.node_schema or a.edge_schema != b.edge_schema:
+        raise SchemaError("cannot merge graphs with different schemas")
+    out = PropertyGraph(name, a.node_schema, a.edge_schema)
+    for node in a.nodes.values():
+        out.add_node(node.id, node.properties)
+    offset = (max(a.nodes) + 1) if a.nodes else 0
+    for node in b.nodes.values():
+        out.add_node(node.id + offset, node.properties)
+    for edge in a.edges:
+        out.add_edge(edge.src, edge.dst, edge.properties)
+    for edge in b.edges:
+        out.add_edge(edge.src + offset, edge.dst + offset, edge.properties)
+    return out

@@ -1,0 +1,46 @@
+"""GVDL — the Graph View Definition Language (paper §3, §6).
+
+A small declarative language for defining filtered views, view collections,
+and aggregate views over property graphs::
+
+    create view CA-Long-Calls on Calls
+    edges where src.state = 'CA' and dst.state = 'CA'
+      and duration > 10 and year = 2019
+
+    create view collection call-analysis on Calls
+    [D1-Y2010: duration <= 1 and year <= 2010],
+    [D2-Y2010: duration <= 2 and year <= 2010]
+
+    create view City-Calls-City on Calls
+    nodes group by city aggregate num-phones: count(*)
+    edges aggregate total-duration: sum(duration)
+
+Use :func:`parse` for a single statement or :func:`parse_program` for a
+``;``-separated script. Statements are plain AST dataclasses
+(:mod:`repro.gvdl.ast`); :mod:`repro.gvdl.predicate` compiles predicates to
+fast Python closures.
+"""
+
+from repro.gvdl.ast import (
+    AggSpec,
+    AggregateViewStmt,
+    FilteredViewStmt,
+    GroupByPredicates,
+    GroupByProperties,
+    ViewCollectionStmt,
+)
+from repro.gvdl.parser import parse, parse_program
+from repro.gvdl.predicate import compile_predicate, predicate_properties
+
+__all__ = [
+    "AggSpec",
+    "AggregateViewStmt",
+    "FilteredViewStmt",
+    "GroupByPredicates",
+    "GroupByProperties",
+    "ViewCollectionStmt",
+    "parse",
+    "parse_program",
+    "compile_predicate",
+    "predicate_properties",
+]

@@ -1,0 +1,159 @@
+"""Abstract syntax for GVDL statements and predicates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple, Union
+
+
+# -- predicate expressions ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PropRef:
+    """A property reference: ``src.x``, ``dst.x``, or a bare edge/node prop.
+
+    ``target`` is one of ``"src"``, ``"dst"``, ``"edge"``; in node contexts
+    (aggregate-view group predicates) bare names resolve to the node.
+    """
+
+    target: str
+    name: str
+
+    def __str__(self) -> str:
+        return self.name if self.target == "edge" else f"{self.target}.{self.name}"
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+    def __str__(self) -> str:
+        """Render in GVDL syntax (so rendered predicates re-parse)."""
+        if self.value is True:
+            return "true"
+        if self.value is False:
+            return "false"
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    left: Union[PropRef, Literal]
+    op: str  # '=', '!=', '<', '<=', '>', '>='
+    right: Union[PropRef, Literal]
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Predicate"
+
+    def __str__(self) -> str:
+        return f"not ({self.operand})"
+
+
+@dataclass(frozen=True)
+class And:
+    operands: Tuple["Predicate", ...]
+
+    def __str__(self) -> str:
+        return " and ".join(f"({op})" for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Or:
+    operands: Tuple["Predicate", ...]
+
+    def __str__(self) -> str:
+        return " or ".join(f"({op})" for op in self.operands)
+
+
+@dataclass(frozen=True)
+class BoolLiteral:
+    """Bare ``true``/``false`` as a predicate."""
+
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+Predicate = Union[Comparison, Not, And, Or, BoolLiteral]
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FilteredViewStmt:
+    """``create view <name> on <source> edges where <predicate>``."""
+
+    name: str
+    source: str
+    predicate: Predicate
+
+
+@dataclass(frozen=True)
+class ViewCollectionStmt:
+    """``create view collection <name> on <source> [v1: p1], [v2: p2], ...``."""
+
+    name: str
+    source: str
+    views: Tuple[Tuple[str, Predicate], ...]  # (view name, predicate)
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """An aggregate: optional output name, function, argument property.
+
+    ``count(*)`` has ``arg == "*"``.
+    """
+
+    name: Optional[str]
+    func: str  # count | sum | min | max | avg
+    arg: str
+
+    def output_name(self) -> str:
+        if self.name:
+            return self.name
+        return f"{self.func}_{'all' if self.arg == '*' else self.arg}"
+
+
+@dataclass(frozen=True)
+class GroupByProperties:
+    """Group nodes by the values of one or more node properties."""
+
+    properties: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class GroupByPredicates:
+    """Group nodes into explicit predicate-defined groups.
+
+    Nodes matching the i-th predicate form super-node i; nodes matching no
+    predicate are dropped from the aggregate view.
+    """
+
+    predicates: Tuple[Predicate, ...]
+
+
+GroupBy = Union[GroupByProperties, GroupByPredicates]
+
+
+@dataclass(frozen=True)
+class AggregateViewStmt:
+    """``create view <name> on <source> nodes group by ... aggregate ...``."""
+
+    name: str
+    source: str
+    group_by: GroupBy
+    node_aggregates: Tuple[AggSpec, ...] = field(default=())
+    edge_aggregates: Tuple[AggSpec, ...] = field(default=())
+
+
+Statement = Union[FilteredViewStmt, ViewCollectionStmt, AggregateViewStmt]

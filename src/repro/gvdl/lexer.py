@@ -1,0 +1,69 @@
+"""Hand-written lexer for GVDL.
+
+Identifiers may contain hyphens after the first character (the paper's
+examples use names like ``call-analysis`` and ``D1-Y2010``), so ``-`` is
+never an operator in GVDL.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import GvdlSyntaxError
+from repro.gvdl.tokens import KEYWORDS, SYMBOLS, Token, TokenType
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789-")
+_DIGITS = frozenset("0123456789")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Turn GVDL source text into a token list ending with EOF."""
+    tokens: List[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ch = text[pos]
+        if ch in " \t\r\n":
+            pos += 1
+            continue
+        if ch == "#":  # line comment
+            end = text.find("\n", pos)
+            pos = length if end == -1 else end + 1
+            continue
+        if ch == "'":
+            end = text.find("'", pos + 1)
+            if end == -1:
+                raise GvdlSyntaxError("unterminated string literal", pos, text)
+            tokens.append(Token(TokenType.STRING, text[pos + 1:end], pos))
+            pos = end + 1
+            continue
+        if ch in _DIGITS:
+            end = pos
+            while end < length and text[end] in _DIGITS:
+                end += 1
+            tokens.append(Token(TokenType.NUMBER, int(text[pos:end]), pos))
+            pos = end
+            continue
+        if ch in _IDENT_START:
+            end = pos
+            while end < length and text[end] in _IDENT_CONT:
+                end += 1
+            word = text[pos:end]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lowered, pos))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, pos))
+            pos = end
+            continue
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, pos):
+                tokens.append(Token(TokenType.SYMBOL, symbol, pos))
+                pos += len(symbol)
+                break
+        else:
+            raise GvdlSyntaxError(f"unexpected character {ch!r}", pos, text)
+    tokens.append(Token(TokenType.EOF, None, length))
+    return tokens

@@ -1,0 +1,41 @@
+"""Token definitions for the GVDL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    KEYWORD = "keyword"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+#: Reserved words, matched case-insensitively.
+KEYWORDS = frozenset({
+    "create", "view", "collection", "on", "edges", "nodes", "where",
+    "group", "by", "aggregate", "and", "or", "not", "true", "false",
+    "count", "sum", "min", "max", "avg", "between", "in",
+})
+
+#: Multi-character symbols must be listed before their prefixes.
+SYMBOLS = ("<=", ">=", "!=", "<>", "<", ">", "=", "(", ")", "[", "]",
+           ",", ":", ".", "*", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: Any
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.type is TokenType.SYMBOL and self.value == symbol

@@ -1,0 +1,287 @@
+"""A timely-dataflow-style batch layer for acyclic data-parallel jobs.
+
+The paper's Graphsurge uses Timely Dataflow *directly* (without the
+differential layer) for the embarrassingly parallel steps: evaluating view
+predicates over edges (the EBM), computing aggregate views, and the
+Hamming-distance step of Algorithm 1. This module provides that layer: a
+small BSP dataflow where every stream is sharded across W simulated
+workers, operators process shards independently, and ``exchange`` moves
+records between workers by key hash (the cost model of a timely cluster).
+
+Iterative/incremental computations do NOT belong here — they run on
+:mod:`repro.differential`, which layers differential semantics on the same
+worker/metering substrate.
+
+Example::
+
+    td = TimelyDataflow(workers=4)
+    edges = td.input("edges")
+    degrees = (edges
+               .exchange(lambda rec: rec[0])
+               .aggregate(lambda rec: rec[0], lambda recs: len(recs)))
+    out = degrees.capture("degrees")
+    td.run({"edges": [(0, 1), (0, 2), (1, 2)]})
+    assert sorted(out.records) == [(0, 2), (1, 1)]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import DataflowError
+from repro.timely.meter import WorkMeter
+from repro.timely.worker import shard_for
+
+Shards = List[List[Any]]
+
+
+class _TOperator:
+    """A node of the batch dataflow graph."""
+
+    def __init__(self, dataflow: "TimelyDataflow", name: str,
+                 inputs: Sequence["_TOperator"]):
+        self.dataflow = dataflow
+        self.name = name
+        self.inputs = list(inputs)
+        self.output: Optional[Shards] = None
+        dataflow._register(self)
+
+    def evaluate(self, input_shards: List[Shards]) -> Shards:
+        raise NotImplementedError
+
+    def _empty(self) -> Shards:
+        return [[] for _ in range(self.dataflow.workers)]
+
+
+class _InputOp(_TOperator):
+    def __init__(self, dataflow, name):
+        super().__init__(dataflow, name, [])
+        self.pending: Optional[List[Any]] = None
+
+    def evaluate(self, input_shards):
+        shards = self._empty()
+        records = self.pending or []
+        # Inputs arrive round-robin, like records read from partitioned
+        # files in timely.
+        for index, record in enumerate(records):
+            shards[index % self.dataflow.workers].append(record)
+        self.pending = None
+        return shards
+
+
+class _MapOp(_TOperator):
+    def __init__(self, dataflow, name, source, fn, flat=False):
+        super().__init__(dataflow, name, [source])
+        self.fn = fn
+        self.flat = flat
+
+    def evaluate(self, input_shards):
+        meter = self.dataflow.meter
+        out = self._empty()
+        for worker, shard in enumerate(input_shards[0]):
+            for record in shard:
+                meter.record(worker)
+                if self.flat:
+                    out[worker].extend(self.fn(record))
+                else:
+                    out[worker].append(self.fn(record))
+        return out
+
+
+class _FilterOp(_TOperator):
+    def __init__(self, dataflow, name, source, predicate):
+        super().__init__(dataflow, name, [source])
+        self.predicate = predicate
+
+    def evaluate(self, input_shards):
+        meter = self.dataflow.meter
+        out = self._empty()
+        for worker, shard in enumerate(input_shards[0]):
+            for record in shard:
+                meter.record(worker)
+                if self.predicate(record):
+                    out[worker].append(record)
+        return out
+
+
+class _ExchangeOp(_TOperator):
+    def __init__(self, dataflow, name, source, key_fn):
+        super().__init__(dataflow, name, [source])
+        self.key_fn = key_fn
+
+    def evaluate(self, input_shards):
+        meter = self.dataflow.meter
+        out = self._empty()
+        workers = self.dataflow.workers
+        for worker, shard in enumerate(input_shards[0]):
+            for record in shard:
+                meter.record(worker)
+                out[shard_for(self.key_fn(record), workers)].append(record)
+        return out
+
+
+class _ConcatOp(_TOperator):
+    def evaluate(self, input_shards):
+        out = self._empty()
+        for shards in input_shards:
+            for worker, shard in enumerate(shards):
+                out[worker].extend(shard)
+        return out
+
+
+class _AggregateOp(_TOperator):
+    """Group by key *within each worker* and fold each group.
+
+    Callers exchange by the group key first (as in timely) so each group
+    lives on exactly one worker; :meth:`TStream.aggregate` does this
+    automatically.
+    """
+
+    def __init__(self, dataflow, name, source, key_fn, fold):
+        super().__init__(dataflow, name, [source])
+        self.key_fn = key_fn
+        self.fold = fold
+
+    def evaluate(self, input_shards):
+        meter = self.dataflow.meter
+        out = self._empty()
+        for worker, shard in enumerate(input_shards[0]):
+            groups: Dict[Any, List[Any]] = {}
+            for record in shard:
+                meter.record(worker)
+                groups.setdefault(self.key_fn(record), []).append(record)
+            for key, records in groups.items():
+                meter.record(worker)
+                out[worker].append((key, self.fold(records)))
+        return out
+
+
+class _JoinOp(_TOperator):
+    """Hash equi-join of two keyed streams (records are (key, value))."""
+
+    def __init__(self, dataflow, name, left, right, merge):
+        super().__init__(dataflow, name, [left, right])
+        self.merge = merge
+
+    def evaluate(self, input_shards):
+        meter = self.dataflow.meter
+        out = self._empty()
+        for worker in range(self.dataflow.workers):
+            table: Dict[Any, List[Any]] = {}
+            for key, value in input_shards[0][worker]:
+                meter.record(worker)
+                table.setdefault(key, []).append(value)
+            for key, value in input_shards[1][worker]:
+                meter.record(worker)
+                for other in table.get(key, ()):
+                    out[worker].append(self.merge(key, other, value))
+        return out
+
+
+class _CaptureOp(_TOperator):
+    def __init__(self, dataflow, name, source):
+        super().__init__(dataflow, name, [source])
+        self.records: List[Any] = []
+
+    def evaluate(self, input_shards):
+        self.records = [record
+                        for shard in input_shards[0]
+                        for record in shard]
+        return input_shards[0]
+
+
+class TStream:
+    """Fluent handle on a batch stream."""
+
+    def __init__(self, dataflow: "TimelyDataflow", op: _TOperator):
+        self.dataflow = dataflow
+        self.op = op
+
+    def map(self, fn: Callable[[Any], Any], name: str = "map") -> "TStream":
+        return TStream(self.dataflow,
+                       _MapOp(self.dataflow, name, self.op, fn))
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]],
+                 name: str = "flat_map") -> "TStream":
+        return TStream(self.dataflow,
+                       _MapOp(self.dataflow, name, self.op, fn, flat=True))
+
+    def filter(self, predicate: Callable[[Any], bool],
+               name: str = "filter") -> "TStream":
+        return TStream(self.dataflow,
+                       _FilterOp(self.dataflow, name, self.op, predicate))
+
+    def exchange(self, key_fn: Callable[[Any], Any],
+                 name: str = "exchange") -> "TStream":
+        """Re-shard records across workers by a key (timely's exchange)."""
+        return TStream(self.dataflow,
+                       _ExchangeOp(self.dataflow, name, self.op, key_fn))
+
+    def concat(self, *others: "TStream") -> "TStream":
+        ops = [self.op] + [other.op for other in others]
+        return TStream(self.dataflow,
+                       _ConcatOp(self.dataflow, "concat", ops))
+
+    def aggregate(self, key_fn: Callable[[Any], Any],
+                  fold: Callable[[List[Any]], Any],
+                  name: str = "aggregate") -> "TStream":
+        """Exchange by key, then fold each group: ``(key, fold(records))``."""
+        exchanged = self.exchange(key_fn, name=name + ".exchange")
+        return TStream(self.dataflow,
+                       _AggregateOp(self.dataflow, name, exchanged.op,
+                                    key_fn, fold))
+
+    def join(self, other: "TStream",
+             merge: Callable[[Any, Any, Any], Any],
+             name: str = "join") -> "TStream":
+        """Hash join of (key, value) streams; both sides are exchanged."""
+        left = self.exchange(lambda rec: rec[0], name=name + ".xl")
+        right = other.exchange(lambda rec: rec[0], name=name + ".xr")
+        return TStream(self.dataflow,
+                       _JoinOp(self.dataflow, name, left.op, right.op,
+                               merge))
+
+    def capture(self, name: str = "capture") -> _CaptureOp:
+        return _CaptureOp(self.dataflow, name, self.op)
+
+
+class TimelyDataflow:
+    """A runnable batch dataflow over simulated workers."""
+
+    def __init__(self, workers: int = 1, meter: Optional[WorkMeter] = None):
+        self.workers = max(1, workers)
+        self.meter = meter if meter is not None else WorkMeter(self.workers)
+        self._operators: List[_TOperator] = []
+        self._inputs: Dict[str, _InputOp] = {}
+
+    def _register(self, op: _TOperator) -> None:
+        self._operators.append(op)
+
+    def input(self, name: str) -> TStream:
+        if name in self._inputs:
+            raise DataflowError(f"duplicate input {name!r}")
+        op = _InputOp(self, name)
+        self._inputs[name] = op
+        return TStream(self, op)
+
+    def run(self, inputs: Optional[Dict[str, Iterable[Any]]] = None) -> None:
+        """Execute the dataflow once over the given input records.
+
+        Operators run in construction (= topological) order; each operator
+        pass is one superstep.
+        """
+        for name, records in (inputs or {}).items():
+            op = self._inputs.get(name)
+            if op is None:
+                raise DataflowError(f"unknown input {name!r}")
+            op.pending = list(records)
+        for op in self._operators:
+            shards = [upstream.output for upstream in op.inputs]
+            for upstream, shard in zip(op.inputs, shards):
+                if shard is None:
+                    raise DataflowError(
+                        f"operator {op.name} ran before its input "
+                        f"{upstream.name}")
+            self.meter.begin_step()
+            op.output = op.evaluate(shards)
+            self.meter.end_step()

@@ -1,0 +1,105 @@
+"""Work metering: deterministic cost accounting for the engine.
+
+Every operator reports the records it touches, attributed to the worker that
+would process them under hash partitioning. The meter aggregates two
+quantities:
+
+* ``total_work`` — total records touched (a machine-independent cost).
+* ``parallel_time`` — Σ over supersteps of the *maximum* per-worker work in
+  that superstep. A superstep is one operator pass at one timestamp, which is
+  the unit between which timely workers synchronize. This simulates the
+  elapsed time of a W-worker cluster and is what the Figure 10 scalability
+  benchmark reports.
+
+The meter is owned by a :class:`repro.differential.dataflow.Dataflow`; it can
+be checkpointed cheaply (``snapshot``) so the executor can attribute cost to
+individual views of a collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.timely.worker import shard_for
+
+
+@dataclass(frozen=True)
+class WorkSnapshot:
+    """Immutable point-in-time reading of a :class:`WorkMeter`."""
+
+    total_work: int
+    parallel_time: int
+    supersteps: int
+
+    def delta(self, later: "WorkSnapshot") -> "WorkSnapshot":
+        """Return the work performed between ``self`` and ``later``."""
+        return WorkSnapshot(
+            total_work=later.total_work - self.total_work,
+            parallel_time=later.parallel_time - self.parallel_time,
+            supersteps=later.supersteps - self.supersteps,
+        )
+
+
+class WorkMeter:
+    """Accumulates per-worker work within supersteps.
+
+    Usage from operators::
+
+        meter.record(key, units)      # inside a superstep
+
+    Usage from the driver::
+
+        meter.begin_step()
+        ... run one operator pass at one timestamp ...
+        meter.end_step()
+    """
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.total_work = 0
+        self.parallel_time = 0
+        self.supersteps = 0
+        # Stack of per-worker tallies: one frame per open superstep. A
+        # nested frame (an inner loop's pass inside an outer pass) counts
+        # its own synchronization; its work does not re-count in the outer
+        # frame.
+        self._frames: list = []
+
+    def record(self, key: Any, units: int = 1) -> None:
+        """Attribute ``units`` of work for ``key``'s worker."""
+        if units <= 0:
+            return
+        self.total_work += units
+        worker = shard_for(key, self.workers)
+        if self._frames:
+            frame = self._frames[-1]
+            frame[worker] = frame.get(worker, 0) + units
+        else:
+            # Work outside any superstep counts as fully serial.
+            self.parallel_time += units
+
+    def begin_step(self) -> None:
+        """Open a superstep: one data-parallel pass of the dataflow at one
+        timestamp (workers synchronize at its end, as in timely)."""
+        self._frames.append({})
+
+    def end_step(self) -> None:
+        if not self._frames:
+            return
+        frame = self._frames.pop()
+        if frame:
+            self.parallel_time += max(frame.values())
+            self.supersteps += 1
+
+    def snapshot(self) -> WorkSnapshot:
+        """Capture current counters (usable for per-view deltas)."""
+        return WorkSnapshot(self.total_work, self.parallel_time, self.supersteps)
+
+    def reset(self) -> None:
+        self.total_work = 0
+        self.parallel_time = 0
+        self.supersteps = 0
+        self._frames.clear()

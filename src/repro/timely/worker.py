@@ -1,0 +1,57 @@
+"""Deterministic record-to-worker sharding.
+
+Timely Dataflow distributes the records of a stream across workers using a
+hash of an exchange key. We reproduce that with a stable hash so that work
+attribution (and therefore simulated parallel time) is reproducible across
+runs and machines — Python's built-in ``hash`` is salted for strings, so we
+roll a small FNV-1a instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def stable_hash(value: Any) -> int:
+    """Return a 64-bit hash that is stable across processes.
+
+    Supports the record components used by the engine: ints, strings,
+    booleans, floats, None, and (nested) tuples thereof.
+    """
+    if isinstance(value, bool):
+        return 0x9E3779B97F4A7C15 if value else 0x2545F4914F6CDD1D
+    if isinstance(value, int):
+        # Avalanche small ints so consecutive vertex ids spread over workers.
+        h = (value ^ (value >> 33)) & _MASK
+        h = (h * 0xFF51AFD7ED558CCD) & _MASK
+        h ^= h >> 33
+        return h
+    if isinstance(value, float):
+        return stable_hash(value.hex())
+    if value is None:
+        return 0x6A09E667F3BCC908
+    if isinstance(value, str):
+        h = _FNV_OFFSET
+        for byte in value.encode("utf-8"):
+            h ^= byte
+            h = (h * _FNV_PRIME) & _MASK
+        return h
+    if isinstance(value, tuple):
+        h = _FNV_OFFSET
+        for item in value:
+            h ^= stable_hash(item)
+            h = (h * _FNV_PRIME) & _MASK
+        return h
+    # Fall back to the repr for exotic-but-hashable records.
+    return stable_hash(repr(value))
+
+
+def shard_for(key: Any, workers: int) -> int:
+    """Assign ``key`` to one of ``workers`` workers (hash partitioning)."""
+    if workers <= 1:
+        return 0
+    return stable_hash(key) % workers

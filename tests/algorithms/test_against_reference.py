@@ -1,0 +1,160 @@
+"""Every dataflow algorithm vs its plain-Python reference, on random
+graphs (single view) and churned collections (every view, every mode)."""
+
+import random
+
+import pytest
+
+from repro.algorithms import BellmanFord, Bfs, Mpsp, PageRank, Scc, Wcc
+from repro.algorithms.reference import (
+    reference_bfs,
+    reference_mpsp,
+    reference_pagerank,
+    reference_scc,
+    reference_sssp,
+    reference_wcc,
+)
+from repro.core.executor import AnalyticsExecutor, ExecutionMode
+from repro.core.view_collection import collection_from_diffs
+from repro.graph.edge_stream import EdgeStream
+from tests.conftest import random_simple_digraph
+
+
+def stream_of(triples):
+    return EdgeStream([(i, u, v, w) for i, (u, v, w) in enumerate(triples)])
+
+
+CASES = [
+    (Wcc, reference_wcc),
+    (Bfs, reference_bfs),
+    (BellmanFord, reference_sssp),
+    (lambda: PageRank(iterations=6),
+     lambda t: reference_pagerank(t, iterations=6)),
+    (Scc, reference_scc),
+]
+
+
+class TestSingleView:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("factory,reference", CASES)
+    def test_random_graph_matches_reference(self, factory, reference, seed):
+        triples = random_simple_digraph(30, 90, seed)
+        result = AnalyticsExecutor().run_on_view(factory(), stream_of(triples))
+        assert result.vertex_map() == reference(triples)
+
+    def test_empty_graph(self):
+        for factory, _reference in CASES:
+            result = AnalyticsExecutor().run_on_view(factory(), EdgeStream())
+            assert result.output == {}
+
+    def test_single_edge(self):
+        triples = [(3, 7, 2)]
+        assert AnalyticsExecutor().run_on_view(
+            Wcc(), stream_of(triples)).vertex_map() == {3: 3, 7: 3}
+        assert AnalyticsExecutor().run_on_view(
+            Bfs(), stream_of(triples)).vertex_map() == {3: 0, 7: 1}
+        assert AnalyticsExecutor().run_on_view(
+            BellmanFord(), stream_of(triples)).vertex_map() == {3: 0, 7: 2}
+
+    def test_self_contained_scc_cycle(self):
+        triples = [(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1)]
+        result = AnalyticsExecutor().run_on_view(Scc(), stream_of(triples))
+        assert result.vertex_map() == {0: 2, 1: 2, 2: 2, 3: 3}
+
+    def test_bfs_fixed_source(self):
+        triples = [(5, 6, 1), (6, 7, 1), (1, 5, 1)]
+        result = AnalyticsExecutor().run_on_view(
+            Bfs(source=5), stream_of(triples))
+        assert result.vertex_map() == {5: 0, 6: 1, 7: 2}
+
+    def test_bfs_fixed_source_without_out_edges_is_empty(self):
+        triples = [(1, 5, 1)]
+        result = AnalyticsExecutor().run_on_view(
+            Bfs(source=5), stream_of(triples))
+        assert result.output == {}
+
+    def test_mpsp_reports_requested_pairs_only(self):
+        triples = [(0, 1, 3), (1, 2, 4), (0, 2, 10), (2, 3, 1)]
+        pairs = [(0, 2), (0, 3)]
+        result = AnalyticsExecutor().run_on_view(
+            Mpsp(pairs), stream_of(triples))
+        got = {key: value for (key, value), _m in result.output.items()}
+        assert got == {(0, 2): 7, (0, 3): 8}
+
+    def test_mpsp_requires_pairs(self):
+        with pytest.raises(ValueError):
+            Mpsp([])
+
+    def test_pagerank_validation(self):
+        with pytest.raises(ValueError):
+            PageRank(iterations=0)
+        with pytest.raises(ValueError):
+            PageRank(quantum=0)
+
+    def test_pagerank_ranks_sink_heavy_vertex_highest(self):
+        # Star pointing at vertex 0.
+        triples = [(i, 0, 1) for i in range(1, 8)]
+        ranks = AnalyticsExecutor().run_on_view(
+            PageRank(), stream_of(triples)).vertex_map()
+        assert ranks[0] == max(ranks.values())
+
+
+def churn_collection(seed, num_views=8, n=24, m=70):
+    rng = random.Random(seed)
+    triples = random_simple_digraph(n, m, seed)
+    current = {(u, v): w for u, v, w in triples}
+    ids = {}
+
+    def key(pair, w):
+        ids.setdefault(pair, len(ids))
+        return (ids[pair], pair[0], pair[1], w)
+
+    diffs = [{key(p, w): 1 for p, w in sorted(current.items())}]
+    for _ in range(num_views - 1):
+        diff = {}
+        for pair in rng.sample(sorted(current), 5):
+            diff[key(pair, current.pop(pair))] = -1
+        added = 0
+        while added < 5:
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v or (u, v) in current:
+                continue
+            w = rng.randrange(1, 6)
+            current[(u, v)] = w
+            k = key((u, v), w)
+            if diff.get(k) == -1:
+                # Removed and re-added identically within this view: no-op.
+                del diff[k]
+            else:
+                diff[k] = 1
+            added += 1
+        diffs.append(diff)
+    return collection_from_diffs(f"churn-{seed}", diffs)
+
+
+class TestCollections:
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    @pytest.mark.parametrize("factory,reference", CASES)
+    def test_every_view_matches_reference(self, factory, reference, mode):
+        collection = churn_collection(seed=1)
+        result = AnalyticsExecutor().run_on_collection(
+            factory(), collection, mode=mode, keep_outputs=True,
+            cost_metric="work")
+        for index in range(collection.num_views):
+            triples = [(s, d, w) for (_e, s, d, w)
+                       in collection.full_view_edges(index)]
+            assert result.views[index].vertex_map() == reference(triples), \
+                f"view {index} under {mode}"
+
+    def test_mpsp_collection(self):
+        collection = churn_collection(seed=2)
+        pairs = [(0, d) for d in (3, 9, 15)]
+        result = AnalyticsExecutor().run_on_collection(
+            Mpsp(pairs), collection, mode=ExecutionMode.DIFF_ONLY,
+            keep_outputs=True)
+        for index in range(collection.num_views):
+            triples = [(s, d, w) for (_e, s, d, w)
+                       in collection.full_view_edges(index)]
+            got = {key: value for (key, value), _m
+                   in result.views[index].output.items()}
+            assert got == reference_mpsp(triples, pairs), f"view {index}"

@@ -1,0 +1,110 @@
+"""k-core, triangles, and degree computations vs references (extension
+algorithms beyond the paper's evaluation set)."""
+
+import pytest
+
+from repro.algorithms import KCore, MaxDegree, OutDegrees, Triangles
+from repro.algorithms.reference import (
+    reference_kcore,
+    reference_out_degrees,
+    reference_triangles,
+)
+from repro.core.executor import AnalyticsExecutor, ExecutionMode
+from repro.graph.edge_stream import EdgeStream
+from tests.algorithms.test_against_reference import churn_collection, stream_of
+from tests.conftest import random_simple_digraph
+
+
+class TestKCore:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_random_matches_reference(self, seed, k):
+        triples = random_simple_digraph(25, 90, seed)
+        result = AnalyticsExecutor().run_on_view(KCore(k),
+                                                 stream_of(triples))
+        assert result.vertex_map() == reference_kcore(triples, k)
+
+    def test_peeling_cascade(self):
+        # A 3-clique with a pendant path: the path peels away for k=2.
+        triples = [(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1), (3, 4, 1)]
+        result = AnalyticsExecutor().run_on_view(KCore(2),
+                                                 stream_of(triples))
+        assert result.vertex_map() == {0: 2, 1: 2, 2: 2}
+
+    def test_empty_core(self):
+        triples = [(0, 1, 1), (1, 2, 1)]
+        result = AnalyticsExecutor().run_on_view(KCore(3),
+                                                 stream_of(triples))
+        assert result.output == {}
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            KCore(0)
+
+    def test_collection_incremental(self):
+        collection = churn_collection(seed=5, num_views=5)
+        result = AnalyticsExecutor().run_on_collection(
+            KCore(2), collection, mode=ExecutionMode.DIFF_ONLY,
+            keep_outputs=True)
+        for index in range(collection.num_views):
+            triples = [(s, d, w) for (_e, s, d, w)
+                       in collection.full_view_edges(index)]
+            assert result.views[index].vertex_map() == \
+                reference_kcore(triples, 2), f"view {index}"
+
+
+class TestTriangles:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_matches_reference(self, seed):
+        triples = random_simple_digraph(18, 60, seed)
+        result = AnalyticsExecutor().run_on_view(Triangles(),
+                                                 stream_of(triples))
+        assert result.vertex_map() == reference_triangles(triples)
+
+    def test_single_triangle(self):
+        triples = [(0, 1, 1), (1, 2, 1), (0, 2, 1)]
+        result = AnalyticsExecutor().run_on_view(Triangles(),
+                                                 stream_of(triples))
+        assert result.vertex_map() == {0: 1, 1: 1, 2: 1}
+
+    def test_antiparallel_edges_not_double_counted(self):
+        triples = [(0, 1, 1), (1, 0, 1), (1, 2, 1), (0, 2, 1)]
+        result = AnalyticsExecutor().run_on_view(Triangles(),
+                                                 stream_of(triples))
+        assert result.vertex_map() == {0: 1, 1: 1, 2: 1}
+
+    def test_triangle_appears_incrementally(self):
+        collection = churn_collection(seed=6, num_views=6)
+        result = AnalyticsExecutor().run_on_collection(
+            Triangles(), collection, mode=ExecutionMode.DIFF_ONLY,
+            keep_outputs=True)
+        for index in range(collection.num_views):
+            triples = [(s, d, w) for (_e, s, d, w)
+                       in collection.full_view_edges(index)]
+            assert result.views[index].vertex_map() == \
+                reference_triangles(triples), f"view {index}"
+
+
+class TestDegrees:
+    def test_out_degrees(self):
+        triples = [(0, 1, 1), (0, 2, 1), (1, 2, 1)]
+        result = AnalyticsExecutor().run_on_view(OutDegrees(),
+                                                 stream_of(triples))
+        assert result.vertex_map() == reference_out_degrees(triples)
+
+    def test_max_degree(self):
+        triples = [(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1)]
+        result = AnalyticsExecutor().run_on_view(MaxDegree(),
+                                                 stream_of(triples))
+        assert result.vertex_map() == {0: 3}
+
+    def test_max_degree_tracks_removals(self):
+        collection = churn_collection(seed=7, num_views=5)
+        result = AnalyticsExecutor().run_on_collection(
+            MaxDegree(), collection, mode=ExecutionMode.DIFF_ONLY,
+            keep_outputs=True)
+        for index in range(collection.num_views):
+            triples = [(s, d, w) for (_e, s, d, w)
+                       in collection.full_view_edges(index)]
+            expected = max(reference_out_degrees(triples).values())
+            assert result.views[index].vertex_map() == {0: expected}

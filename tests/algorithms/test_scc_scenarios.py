@@ -1,0 +1,96 @@
+"""SCC stress scenarios: the doubly-iterative computation under churn
+that merges, splits, and nests strongly connected components."""
+
+import pytest
+
+from repro.algorithms import Scc
+from repro.algorithms.reference import reference_scc
+from repro.core.executor import AnalyticsExecutor, ExecutionMode
+from repro.core.view_collection import collection_from_diffs
+from repro.graph.edge_stream import EdgeStream
+
+
+def key(pair, ids={}):
+    ids.setdefault(pair, len(ids))
+    return (ids[pair], pair[0], pair[1], 1)
+
+
+def run_views(edge_sets):
+    """Build a collection from explicit per-view edge sets; run SCC in
+    diff-only mode; verify every view against Tarjan."""
+    diffs = []
+    previous = set()
+    for edges in edge_sets:
+        current = set(edges)
+        diff = {}
+        for pair in sorted(current - previous):
+            diff[key(pair)] = 1
+        for pair in sorted(previous - current):
+            diff[key(pair)] = -1
+        diffs.append(diff)
+        previous = current
+    collection = collection_from_diffs("scc-scenario", diffs)
+    result = AnalyticsExecutor().run_on_collection(
+        Scc(), collection, mode=ExecutionMode.DIFF_ONLY, keep_outputs=True)
+    for index, edges in enumerate(edge_sets):
+        triples = [(u, v, 1) for u, v in edges]
+        assert result.views[index].vertex_map() == reference_scc(triples), \
+            f"view {index}"
+    return result
+
+
+class TestSccChurn:
+    def test_cycle_forms_then_breaks(self):
+        chain = [(0, 1), (1, 2), (2, 3)]
+        cycle = chain + [(3, 0)]
+        run_views([chain, cycle, chain])
+
+    def test_two_cycles_merge_and_split(self):
+        two = [(0, 1), (1, 0), (2, 3), (3, 2)]
+        merged = two + [(1, 2), (3, 0)]
+        run_views([two, merged, two])
+
+    def test_nested_cycles(self):
+        outer = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        with_inner = outer + [(1, 0), (3, 2)]
+        run_views([outer, with_inner, outer])
+
+    def test_scc_chain_peels_in_order(self):
+        # Three SCCs in a chain: {0,1} -> {2,3} -> {4,5}; the coloring
+        # algorithm needs several outer rounds to peel them.
+        edges = [(0, 1), (1, 0), (2, 3), (3, 2), (4, 5), (5, 4),
+                 (1, 2), (3, 4)]
+        stream = EdgeStream([(i, u, v, 1) for i, (u, v) in enumerate(edges)])
+        result = AnalyticsExecutor().run_on_view(Scc(), stream)
+        triples = [(u, v, 1) for u, v in edges]
+        assert result.vertex_map() == reference_scc(triples)
+
+    def test_giant_cycle_vs_singletons(self):
+        ring = [(i, (i + 1) % 8) for i in range(8)]
+        broken = ring[:-1]
+        run_views([ring, broken, ring])
+
+    def test_edge_reversal_changes_components(self):
+        forward = [(0, 1), (1, 2), (2, 0), (2, 3)]
+        reversed_tail = [(0, 1), (1, 2), (2, 0), (3, 2)]
+        run_views([forward, reversed_tail])
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_tournament_churn(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = 10
+        views = []
+        current = set()
+        for _view in range(5):
+            for _ in range(6):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u == v:
+                    continue
+                if (u, v) in current and rng.random() < 0.5:
+                    current.discard((u, v))
+                else:
+                    current.add((u, v))
+            views.append(set(current))
+        run_views(views)

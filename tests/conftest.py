@@ -1,0 +1,80 @@
+"""Shared fixtures: the paper's running-example call graph and helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.schema import PropertyType, Schema
+
+
+@pytest.fixture
+def call_graph() -> PropertyGraph:
+    """The phone-call graph of the paper's Figure 1.
+
+    Nodes: customers with ``city`` and ``profession``; edges: calls with
+    ``duration`` (minutes) and ``year``.
+    """
+    graph = PropertyGraph(
+        "Calls",
+        node_schema=Schema({"city": PropertyType.STRING,
+                            "profession": PropertyType.STRING}),
+        edge_schema=Schema({"duration": PropertyType.INT,
+                            "year": PropertyType.INT}),
+    )
+    people = {
+        1: ("LA", "Engineer"),
+        2: ("LA", "Doctor"),
+        3: ("LA", "Engineer"),
+        4: ("NY", "Lawyer"),
+        5: ("NY", "Doctor"),
+        6: ("LA", "Engineer"),
+        7: ("NY", "Lawyer"),
+        8: ("LA", "Lawyer"),
+    }
+    for node_id, (city, profession) in people.items():
+        graph.add_node(node_id, {"city": city, "profession": profession})
+    calls = [
+        (1, 2, 7, 2015),
+        (1, 3, 1, 2010),
+        (2, 1, 19, 2019),
+        (2, 6, 13, 2019),
+        (3, 1, 7, 2018),
+        (3, 6, 2, 2013),
+        (4, 7, 4, 2019),
+        (4, 8, 34, 2019),
+        (5, 2, 18, 2019),
+        (5, 4, 6, 2019),
+        (6, 3, 12, 2017),
+        (6, 8, 10, 2018),
+        (7, 4, 18, 2019),
+        (7, 5, 32, 2017),
+        (8, 6, 3, 2019),
+    ]
+    for src, dst, duration, year in calls:
+        graph.add_edge(src, dst, {"duration": duration, "year": year})
+    return graph
+
+
+def random_simple_digraph(num_nodes: int, num_edges: int, seed: int,
+                          max_weight: int = 6):
+    """Random simple directed weighted graph as (src, dst, w) triples."""
+    rng = random.Random(seed)
+    seen = set()
+    edges = []
+    while len(edges) < num_edges:
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u == v or (u, v) in seen:
+            continue
+        seen.add((u, v))
+        edges.append((u, v, rng.randrange(1, max_weight + 1)))
+    return edges
+
+
+@pytest.fixture
+def random_triples():
+    """Factory fixture: seeded random edge-triple generator."""
+    return random_simple_digraph

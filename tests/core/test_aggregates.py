@@ -1,0 +1,111 @@
+"""Aggregate views (paper §6) over the Figure 1 call graph."""
+
+import pytest
+
+from repro.core.aggregates import compute_aggregate_view
+from repro.errors import UnknownPropertyError
+from repro.gvdl.parser import parse
+
+
+class TestGroupByProperty:
+    def test_city_calls_city(self, call_graph):
+        stmt = parse(
+            "create view City-Calls-City on Calls "
+            "nodes group by city "
+            "aggregate num-phones: count(*) "
+            "edges aggregate total-duration: sum(duration)")
+        view = compute_aggregate_view(call_graph, stmt)
+        cities = {n.properties["city"]: n for n in view.nodes.values()}
+        assert set(cities) == {"LA", "NY"}
+        assert cities["LA"].properties["num-phones"] == 5
+        assert cities["NY"].properties["num-phones"] == 3
+        # Every original edge lands in exactly one super-edge bucket.
+        assert sum(e.properties["count"] for e in view.edges) == 15
+        # Total duration is preserved across super-edges.
+        total = sum(e.properties["total-duration"] for e in view.edges)
+        assert total == sum(e.properties["duration"]
+                            for e in call_graph.edges)
+
+    def test_multi_property_grouping(self, call_graph):
+        stmt = parse("create view v on Calls nodes group by city, profession")
+        view = compute_aggregate_view(call_graph, stmt)
+        labels = {n.properties["group"] for n in view.nodes.values()}
+        assert "LA,Engineer" in labels
+        assert len(labels) == 5
+
+    def test_unknown_group_property(self, call_graph):
+        stmt = parse("create view v on Calls nodes group by height")
+        with pytest.raises(UnknownPropertyError):
+            compute_aggregate_view(call_graph, stmt)
+
+    @pytest.mark.parametrize("func,expected", [
+        ("min", 1), ("max", 34), ("count", 15),
+    ])
+    def test_edge_aggregate_functions(self, call_graph, func, expected):
+        arg = "*" if func == "count" else "duration"
+        stmt = parse(
+            f"create view v on Calls nodes group by city "
+            f"edges aggregate out: {func}({arg})")
+        view = compute_aggregate_view(call_graph, stmt)
+        values = [e.properties["out"] for e in view.edges]
+        if func == "count":
+            assert sum(values) == expected
+        elif func == "min":
+            assert min(values) == expected
+        else:
+            assert max(values) == expected
+
+    def test_avg_aggregate(self, call_graph):
+        stmt = parse("create view v on Calls nodes group by city "
+                     "aggregate avg(duration)")
+        # duration is an edge property: must fail on nodes.
+        with pytest.raises(UnknownPropertyError):
+            compute_aggregate_view(call_graph, stmt)
+
+
+class TestGroupByPredicates:
+    def test_paper_triangle_view(self, call_graph):
+        stmt = parse(
+            "create view NY-Dr-LA-Lawyer on Calls nodes group by ["
+            "(profession = 'Doctor' and city = 'NY'),"
+            "(profession = 'Lawyer' and city = 'LA'),"
+            "(profession = 'Engineer' and city = 'LA')]"
+            " aggregate count(*)")
+        view = compute_aggregate_view(call_graph, stmt)
+        counts = {n.properties["group"]: n.properties["count_all"]
+                  for n in view.nodes.values()}
+        assert counts == {"group-0": 1, "group-1": 1, "group-2": 3}
+
+    def test_unmatched_nodes_dropped(self, call_graph):
+        stmt = parse(
+            "create view v on Calls nodes group by ["
+            "(city = 'LA')] aggregate count(*)")
+        view = compute_aggregate_view(call_graph, stmt)
+        assert view.num_nodes == 1
+        # Only LA->LA edges survive.
+        for edge in view.edges:
+            assert edge.src == 0 and edge.dst == 0
+
+    def test_first_matching_predicate_wins(self, call_graph):
+        stmt = parse(
+            "create view v on Calls nodes group by ["
+            "(city = 'LA'), (profession = 'Lawyer')] aggregate count(*)")
+        view = compute_aggregate_view(call_graph, stmt)
+        counts = {n.properties["group"]: n.properties["count_all"]
+                  for n in view.nodes.values()}
+        # LA lawyer (node 8) matches the first group.
+        assert counts["group-0"] == 5
+        assert counts["group-1"] == 2
+
+
+class TestViewsOverViews:
+    def test_aggregate_of_filtered_view(self, call_graph):
+        filtered = call_graph.filter_edges(
+            lambda e, s, d: e.properties["year"] == 2019, name="y2019")
+        stmt = parse("create view v on y2019 nodes group by city "
+                     "edges aggregate total: sum(duration)")
+        view = compute_aggregate_view(filtered, stmt)
+        total = sum(e.properties["total"] for e in view.edges)
+        assert total == sum(e.properties["duration"]
+                            for e in call_graph.edges
+                            if e.properties["year"] == 2019)

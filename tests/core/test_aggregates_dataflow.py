@@ -1,0 +1,50 @@
+"""The dataflow-based aggregate-view path must match the direct evaluator."""
+
+import pytest
+
+from repro.core.aggregates import (
+    compute_aggregate_view,
+    compute_aggregate_view_dataflow,
+)
+from repro.gvdl.parser import parse
+
+
+def graphs_equal(a, b):
+    nodes_a = {n.id: n.properties for n in a.nodes.values()}
+    nodes_b = {n.id: n.properties for n in b.nodes.values()}
+    edges_a = sorted((e.src, e.dst, sorted(e.properties.items()))
+                     for e in a.edges)
+    edges_b = sorted((e.src, e.dst, sorted(e.properties.items()))
+                     for e in b.edges)
+    return nodes_a == nodes_b and edges_a == edges_b
+
+
+STATEMENTS = [
+    "create view v on Calls nodes group by city aggregate n: count(*) "
+    "edges aggregate total: sum(duration)",
+    "create view v on Calls nodes group by city, profession "
+    "aggregate count(*)",
+    "create view v on Calls nodes group by [(city = 'LA'), "
+    "(profession = 'Lawyer')] aggregate count(*) "
+    "edges aggregate m: max(duration), s: min(duration)",
+    "create view v on Calls nodes group by city "
+    "edges aggregate a: avg(duration)",
+]
+
+
+@pytest.mark.parametrize("statement_text", STATEMENTS)
+@pytest.mark.parametrize("workers", [1, 4])
+def test_dataflow_matches_direct(call_graph, statement_text, workers):
+    statement = parse(statement_text)
+    direct = compute_aggregate_view(call_graph, statement)
+    dataflow = compute_aggregate_view_dataflow(call_graph, statement,
+                                               workers=workers)
+    assert graphs_equal(direct, dataflow)
+
+
+def test_dataflow_drops_unmatched_nodes(call_graph):
+    statement = parse("create view v on Calls nodes group by "
+                      "[(city = 'NY')] aggregate count(*)")
+    view = compute_aggregate_view_dataflow(call_graph, statement)
+    assert view.num_nodes == 1
+    assert all(edge.src == 0 and edge.dst == 0 for edge in view.edges)

@@ -1,0 +1,108 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_computation, main
+
+
+@pytest.fixture
+def graph_files(tmp_path):
+    nodes = tmp_path / "nodes.csv"
+    edges = tmp_path / "edges.csv"
+    nodes.write_text("id,city:str\n" + "\n".join(
+        f"{i},{'LA' if i % 2 else 'NY'}" for i in range(8)) + "\n")
+    edges.write_text("src,dst,year:int\n" + "\n".join(
+        f"{i},{(i + 1) % 8},{2015 + i % 5}" for i in range(8)) + "\n")
+    return nodes, edges
+
+
+def load_args(graph_files):
+    nodes, edges = graph_files
+    return ["--load", f"g={nodes},{edges}"]
+
+
+class TestSessionSetup:
+    def test_load_and_info(self, graph_files, capsys):
+        assert main(load_args(graph_files) + ["info"]) == 0
+        out = capsys.readouterr().out
+        assert "loaded graph g" in out
+        assert "|V|=8" in out
+
+    def test_bad_load_spec(self, capsys):
+        assert main(["--load", "nonsense", "info"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_execute_inline(self, graph_files, capsys):
+        argv = load_args(graph_files) + [
+            "--execute", "create view recent on g edges where year >= 2018",
+            "info"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "created recent" in out
+        assert "recent:" in out
+
+    def test_gvdl_file(self, graph_files, tmp_path, capsys):
+        script = tmp_path / "views.gvdl"
+        script.write_text(
+            "create view collection hist on g "
+            "[a: year <= 2016], [b: year <= 2019];")
+        argv = load_args(graph_files) + ["--gvdl", str(script), "gvdl"]
+        assert main(argv) == 0
+        assert "created hist" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_on_graph(self, graph_files, capsys):
+        argv = load_args(graph_files) + ["run", "wcc", "g"]
+        assert main(argv) == 0
+        assert "WCC on g" in capsys.readouterr().out
+
+    def test_run_on_collection_with_csv(self, graph_files, tmp_path,
+                                        capsys):
+        out_file = tmp_path / "results.csv"
+        argv = load_args(graph_files) + [
+            "--execute", "create view collection hist on g "
+                         "[a: year <= 2016], [b: year <= 2019]",
+            "run", "wcc", "hist", "--mode", "diff-only",
+            "--out", str(out_file)]
+        assert main(argv) == 0
+        assert "2 views" in capsys.readouterr().out
+        lines = out_file.read_text().strip().splitlines()
+        assert lines[0] == "view,vertex,value"
+        assert len(lines) > 2
+
+    def test_run_unknown_computation(self, graph_files, capsys):
+        argv = load_args(graph_files) + ["run", "quantum", "g"]
+        assert main(argv) == 1
+        assert "unknown computation" in capsys.readouterr().err
+
+    def test_run_unknown_target(self, graph_files, capsys):
+        argv = load_args(graph_files) + ["run", "wcc", "missing"]
+        assert main(argv) == 1
+
+    def test_mpsp_requires_pairs(self, graph_files, capsys):
+        argv = load_args(graph_files) + ["run", "mpsp", "g"]
+        assert main(argv) == 1
+        assert "--pairs" in capsys.readouterr().err
+
+
+class TestComputationFactory:
+    def test_all_names_resolve(self):
+        import argparse
+
+        args = argparse.Namespace(source=None, iterations=5, k=3,
+                                  pairs="0:1,0:2")
+        for name in ("wcc", "scc", "bfs", "bf", "pagerank", "mpsp",
+                     "kcore", "triangles", "degrees", "maxdegree"):
+            computation = build_computation(name, args)
+            assert computation.name
+
+    def test_parameters_flow(self):
+        import argparse
+
+        args = argparse.Namespace(source=7, iterations=3, k=4,
+                                  pairs="1:2")
+        assert build_computation("bfs", args).source == 7
+        assert build_computation("pagerank", args).iterations == 3
+        assert build_computation("kcore", args).k == 4
+        assert build_computation("mpsp", args).pairs == [(1, 2)]

@@ -1,0 +1,128 @@
+"""EBM construction and edge-difference-stream invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diff_stream import (
+    accumulate_view,
+    compute_diff_stream,
+    diff_sizes,
+    total_diff_count,
+    view_sizes_from_diffs,
+)
+from repro.core.ebm import (
+    EdgeBooleanMatrix,
+    build_ebm,
+    build_ebm_from_memberships,
+)
+from repro.gvdl.parser import parse
+
+bool_matrices = st.integers(1, 8).flatmap(
+    lambda k: st.lists(
+        st.lists(st.booleans(), min_size=k, max_size=k),
+        min_size=1, max_size=12))
+
+
+def ebm_from_rows(rows):
+    edges = [(i, i, i + 1, 1) for i in range(len(rows))]
+    names = [f"v{j}" for j in range(len(rows[0]))]
+    return build_ebm_from_memberships(edges, names, rows)
+
+
+class TestEbm:
+    def test_build_from_predicates(self, call_graph):
+        predicates = [
+            parse(f"create view v on g edges where duration <= {d}").predicate
+            for d in (1, 10, 35)]
+        ebm = build_ebm(call_graph, ["d1", "d10", "d35"], predicates)
+        assert ebm.num_edges == 15
+        assert ebm.num_views == 3
+        assert ebm.view_sizes()[2] == 15  # everything satisfies d<=35
+        # Columns are monotone: duration<=1 implies duration<=10.
+        assert np.all(ebm.matrix[:, 0] <= ebm.matrix[:, 1])
+
+    def test_reorder_permutes_columns(self):
+        ebm = ebm_from_rows([[True, False], [False, True]])
+        flipped = ebm.reorder([1, 0])
+        assert flipped.view_names == ["v1", "v0"]
+        assert flipped.matrix[0].tolist() == [False, True]
+
+    def test_reorder_validates_permutation(self):
+        ebm = ebm_from_rows([[True, False]])
+        with pytest.raises(ValueError, match="invalid column order"):
+            ebm.reorder([0, 0])
+
+    def test_mismatched_names_rejected(self, call_graph):
+        with pytest.raises(ValueError, match="one predicate per view"):
+            build_ebm(call_graph, ["a"], [])
+
+    def test_weight_property(self, call_graph):
+        predicate = parse(
+            "create view v on g edges where true").predicate
+        ebm = build_ebm(call_graph, ["all"], [predicate],
+                        weight_property="duration")
+        weights = {edge[3] for edge in ebm.edges}
+        assert 34 in weights
+
+
+class TestDiffStream:
+    def test_paper_figure_5(self):
+        """Figure 5a -> Figure 5b exactly."""
+        rows = [
+            [1, 0, 0],
+            [1, 0, 1],
+            [0, 0, 1],
+            [0, 1, 1],
+            [1, 1, 1],
+        ]
+        ebm = ebm_from_rows([[bool(x) for x in row] for row in rows])
+        diffs = compute_diff_stream(ebm)
+        def as_signs(diff):
+            return {eid: mult for (eid, _s, _d, _w), mult in diff.items()}
+        assert as_signs(diffs[0]) == {0: 1, 1: 1, 4: 1}
+        assert as_signs(diffs[1]) == {0: -1, 1: -1, 3: 1}
+        assert as_signs(diffs[2]) == {1: 1, 2: 1}
+
+    @settings(max_examples=40, deadline=None)
+    @given(bool_matrices)
+    def test_accumulation_reconstructs_views(self, rows):
+        ebm = ebm_from_rows(rows)
+        diffs = compute_diff_stream(ebm)
+        for j in range(ebm.num_views):
+            view = accumulate_view(diffs, j)
+            expected = {ebm.edges[i] for i in range(ebm.num_edges)
+                        if rows[i][j]}
+            assert set(view) == expected
+            assert all(mult == 1 for mult in view.values())
+
+    @settings(max_examples=40, deadline=None)
+    @given(bool_matrices)
+    def test_view_sizes_match_column_sums(self, rows):
+        ebm = ebm_from_rows(rows)
+        diffs = compute_diff_stream(ebm)
+        assert view_sizes_from_diffs(diffs) == ebm.view_sizes()
+
+    @settings(max_examples=40, deadline=None)
+    @given(bool_matrices)
+    def test_diff_count_equals_row_alternations(self, rows):
+        ebm = ebm_from_rows(rows)
+        diffs = compute_diff_stream(ebm)
+        expected = 0
+        for row in rows:
+            previous = False
+            for cell in row:
+                if cell != previous:
+                    expected += 1
+                previous = cell
+        assert total_diff_count(diffs) == expected
+
+    def test_diff_sizes(self):
+        ebm = ebm_from_rows([[True, False, True]])
+        assert diff_sizes(compute_diff_stream(ebm)) == [1, 1, 1]
+
+    def test_corrupt_stream_detected(self):
+        edge = (0, 0, 1, 1)
+        with pytest.raises(ValueError, match="corrupt"):
+            accumulate_view([{edge: 1}, {edge: 1}], 1)

@@ -1,0 +1,69 @@
+"""Collection persistence round trips."""
+
+import pytest
+
+from repro.algorithms import Wcc
+from repro.core.executor import AnalyticsExecutor, ExecutionMode
+from repro.core.persistence import load_collection, save_collection
+from repro.core.view_collection import ViewCollectionDefinition
+from repro.errors import StoreError
+from repro.gvdl.parser import parse
+
+
+@pytest.fixture
+def collection(call_graph):
+    views = []
+    for year in (2013, 2017, 2019):
+        predicate = parse(
+            f"create view v on g edges where year <= {year}").predicate
+        views.append((f"y{year}", predicate))
+    definition = ViewCollectionDefinition("hist", "Calls", tuple(views))
+    return definition.materialize(call_graph)
+
+
+class TestRoundTrip:
+    def test_metadata_preserved(self, collection, tmp_path):
+        path = tmp_path / "hist.json"
+        save_collection(collection, path)
+        loaded = load_collection(path)
+        assert loaded.name == collection.name
+        assert loaded.source == collection.source
+        assert loaded.view_names == collection.view_names
+        assert loaded.view_sizes == collection.view_sizes
+        assert loaded.diff_sizes == collection.diff_sizes
+
+    def test_diffs_identical(self, collection, tmp_path):
+        path = tmp_path / "hist.json"
+        save_collection(collection, path)
+        loaded = load_collection(path)
+        assert loaded.diffs == collection.diffs
+
+    def test_analytics_on_loaded_collection(self, collection, tmp_path):
+        path = tmp_path / "hist.json"
+        save_collection(collection, path)
+        loaded = load_collection(path)
+        original = AnalyticsExecutor().run_on_collection(
+            Wcc(), collection, mode=ExecutionMode.DIFF_ONLY,
+            keep_outputs=True)
+        reloaded = AnalyticsExecutor().run_on_collection(
+            Wcc(), loaded, mode=ExecutionMode.DIFF_ONLY, keep_outputs=True)
+        for left, right in zip(original.views, reloaded.views):
+            assert left.output == right.output
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StoreError, match="cannot read"):
+            load_collection(tmp_path / "nope.json")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(StoreError, match="cannot read"):
+            load_collection(path)
+
+    def test_wrong_format_version(self, tmp_path):
+        path = tmp_path / "v999.json"
+        path.write_text('{"format": 999}')
+        with pytest.raises(StoreError, match="unsupported"):
+            load_collection(path)

@@ -1,0 +1,77 @@
+"""ViewCollectionDefinition materialization and MaterializedCollection."""
+
+import pytest
+
+from repro.core.view_collection import (
+    ViewCollectionDefinition,
+    collection_from_diffs,
+)
+from repro.gvdl.parser import parse
+
+
+def year_views(*bounds):
+    views = []
+    for bound in bounds:
+        predicate = parse(
+            f"create view v on g edges where year <= {bound}").predicate
+        views.append((f"y{bound}", predicate))
+    return tuple(views)
+
+
+class TestMaterialization:
+    def test_pipeline_identity_order(self, call_graph):
+        definition = ViewCollectionDefinition(
+            "hist", "Calls", year_views(2013, 2017, 2019))
+        collection = definition.materialize(call_graph)
+        assert collection.view_names == ["y2013", "y2017", "y2019"]
+        assert collection.view_sizes[-1] == 15
+        assert collection.diff_sizes[0] == collection.view_sizes[0]
+        assert collection.creation_seconds >= 0
+        assert collection.ordering is None
+
+    def test_pipeline_with_ordering(self, call_graph):
+        definition = ViewCollectionDefinition(
+            "hist", "Calls", year_views(2019, 2013, 2017))
+        collection = definition.materialize(call_graph,
+                                            order_method="christofides")
+        assert collection.ordering is not None
+        # The optimizer recovers the inclusion chain (either direction).
+        sizes = collection.view_sizes
+        assert sizes == sorted(sizes) or sizes == sorted(sizes, reverse=True)
+        assert collection.total_diffs <= 15 + 2  # near-minimal for a chain
+
+    def test_weight_property_flows_to_edges(self, call_graph):
+        definition = ViewCollectionDefinition(
+            "hist", "Calls", year_views(2019))
+        collection = definition.materialize(call_graph,
+                                            weight_property="duration")
+        weights = {w for (_e, _s, _d, w) in collection.diffs[0]}
+        assert 34 in weights
+
+    def test_input_diff_for_view(self, call_graph):
+        definition = ViewCollectionDefinition(
+            "hist", "Calls", year_views(2013, 2019))
+        collection = definition.materialize(call_graph)
+        diff = collection.input_diff_for_view(0)
+        assert all(mult == 1 for mult in diff.values())
+        undirected = collection.input_diff_for_view(0, directed=False)
+        assert len(undirected) >= len(diff)
+
+
+class TestCollectionFromDiffs:
+    def test_basic(self):
+        edge = (0, 1, 2, 1)
+        collection = collection_from_diffs(
+            "c", [{edge: 1}, {edge: -1}], view_names=["on", "off"])
+        assert collection.view_sizes == [1, 0]
+        assert collection.diff_sizes == [1, 1]
+        assert collection.total_diffs == 2
+        assert collection.full_view_edges(1) == {}
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(ValueError, match="one name per"):
+            collection_from_diffs("c", [{}], view_names=["a", "b"])
+
+    def test_default_names(self):
+        collection = collection_from_diffs("c", [{}, {}])
+        assert collection.view_names == ["view-0", "view-1"]

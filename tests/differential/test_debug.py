@@ -1,0 +1,76 @@
+"""Debug tooling: DOT export, trace statistics, consistency checking."""
+
+from repro.differential import Dataflow
+from repro.differential.debug import check_consistency, to_dot, trace_stats
+
+
+def bfs_dataflow():
+    df = Dataflow()
+    edges = df.new_input("edges")
+    roots = df.new_input("roots")
+
+    def body(inner, scope):
+        e = scope.enter(edges)
+        r = scope.enter(roots)
+        return inner.join(
+            e, lambda u, d, v: (v, d + 1), name="step").concat(r).min_by_key(
+            name="unionmin")
+
+    out = df.capture(roots.iterate(body, name="bfsloop"), "dists")
+    return df, out
+
+
+class TestDot:
+    def test_contains_operators_and_cluster(self):
+        df, _out = bfs_dataflow()
+        dot = to_dot(df)
+        assert dot.startswith("digraph")
+        assert "unionmin" in dot
+        assert "subgraph cluster_" in dot
+        assert "feedback" in dot
+
+    def test_edges_reference_defined_nodes(self):
+        df, _out = bfs_dataflow()
+        dot = to_dot(df)
+        defined = {line.split()[0] for line in dot.splitlines()
+                   if line.strip().startswith("n") and "[label=" in line}
+        for line in dot.splitlines():
+            if "->" in line:
+                src = line.strip().split()[0]
+                assert src in defined
+
+
+class TestTraceStats:
+    def test_reports_state_after_run(self):
+        df, _out = bfs_dataflow()
+        df.step({"edges": {(0, 1): 1, (1, 2): 1}, "roots": {(0, 0): 1}})
+        stats = trace_stats(df)
+        assert stats
+        names = {s.name for s in stats}
+        assert "unionmin" in names
+        assert all(s.entries >= 0 for s in stats)
+        # Sorted by entries, descending.
+        entries = [s.entries for s in stats]
+        assert entries == sorted(entries, reverse=True)
+
+
+class TestConsistency:
+    def test_clean_run_is_consistent(self):
+        df, _out = bfs_dataflow()
+        df.step({"edges": {(0, 1): 1, (1, 2): 1}, "roots": {(0, 0): 1}})
+        df.step({"edges": {(1, 2): -1}})
+        assert check_consistency(df) == []
+
+    def test_detects_corrupted_trace(self):
+        df, _out = bfs_dataflow()
+        df.step({"edges": {(0, 1): 1}, "roots": {(0, 0): 1}})
+        # Corrupt a reduce's output trace directly.
+        from repro.differential.operators.reduce import ReduceOp
+
+        for ops in df._ops_by_scope.values():
+            for op in ops:
+                if isinstance(op, ReduceOp) and op.name == "unionmin":
+                    op.out_trace.update(1, (0, 0), {999: 1})
+        problems = check_consistency(df)
+        assert problems
+        assert "unionmin" in problems[0]

@@ -1,0 +1,135 @@
+"""Engine edge cases and failure injection."""
+
+import pytest
+
+from repro.differential import Dataflow
+
+
+class TestDegenerateGraphShapes:
+    def test_self_loop_bfs(self):
+        df = Dataflow()
+        edges = df.new_input("edges")
+        roots = df.new_input("roots")
+
+        def body(inner, scope):
+            e = scope.enter(edges)
+            r = scope.enter(roots)
+            return inner.join(
+                e, lambda u, d, v: (v, d + 1)).concat(r).min_by_key()
+
+        out = df.capture(roots.iterate(body), "out")
+        df.step({"edges": {(0, 0): 1, (0, 1): 1}, "roots": {(0, 0): 1}})
+        assert out.value_at_epoch(0) == {(0, 0): 1, (1, 1): 1}
+
+    def test_parallel_edges_multiplicity(self):
+        df = Dataflow()
+        a = df.new_input("a")
+        out = df.capture(a.count_by_key(), "out")
+        df.step({"a": {("k", "x"): 3}})
+        assert out.value_at_epoch(0) == {("k", 3): 1}
+
+    def test_all_records_removed_then_readded(self):
+        df = Dataflow()
+        a = df.new_input("a")
+        out = df.capture(a.min_by_key(), "out")
+        diff = {("k", value): 1 for value in range(5)}
+        df.step({"a": diff})
+        df.step({"a": {rec: -mult for rec, mult in diff.items()}})
+        df.step({"a": diff})
+        assert out.value_at_epoch(0) == {("k", 0): 1}
+        assert out.value_at_epoch(1) == {}
+        assert out.value_at_epoch(2) == {("k", 0): 1}
+
+    def test_oscillating_input_across_many_epochs(self):
+        df = Dataflow()
+        edges = df.new_input("edges")
+        labels = df.new_input("labels")
+
+        def body(inner, scope):
+            e = scope.enter(edges)
+            seed = scope.enter(labels)
+            return inner.join(
+                e, lambda u, lbl, v: (v, lbl)).concat(seed).min_by_key()
+
+        out = df.capture(labels.iterate(body), "out")
+        df.step({"edges": {}, "labels": {(0, 0): 1, (1, 1): 1}})
+        link = {(0, 1): 1, (1, 0): 1}
+        for epoch in range(1, 12):
+            sign = 1 if epoch % 2 else -1
+            df.step({"edges": {rec: sign * mult
+                               for rec, mult in link.items()}})
+            expected = {(0, 0): 1, (1, 0 if epoch % 2 else 1): 1}
+            assert out.value_at_epoch(epoch) == expected, epoch
+
+    def test_long_chain_deep_iteration(self):
+        df = Dataflow()
+        edges = df.new_input("edges")
+        roots = df.new_input("roots")
+
+        def body(inner, scope):
+            e = scope.enter(edges)
+            r = scope.enter(roots)
+            return inner.join(
+                e, lambda u, d, v: (v, d + 1)).concat(r).min_by_key()
+
+        out = df.capture(roots.iterate(body), "out")
+        n = 60
+        df.step({"edges": {(i, i + 1): 1 for i in range(n)},
+                 "roots": {(0, 0): 1}})
+        assert out.value_at_epoch(0)[(n, n)] == 1
+
+
+class TestMalformedUsage:
+    def test_map_raising_propagates(self):
+        df = Dataflow()
+        a = df.new_input("a")
+        df.capture(a.map(lambda x: 1 // x), "out")
+        with pytest.raises(ZeroDivisionError):
+            df.step({"a": {0: 1}})
+
+    def test_reduce_logic_raising_propagates(self):
+        df = Dataflow()
+        a = df.new_input("a")
+        df.capture(a.reduce(lambda key, vals: [min(vals) / 0]), "out")
+        with pytest.raises(ZeroDivisionError):
+            df.step({"a": {("k", 1): 1}})
+
+    def test_unhashable_record_raises(self):
+        df = Dataflow()
+        a = df.new_input("a")
+        df.capture(a.map(lambda x: [x]), "out")  # lists are unhashable
+        with pytest.raises(TypeError):
+            df.step({"a": {1: 1}})
+
+    def test_iterate_on_non_keyed_records(self):
+        df = Dataflow()
+        a = df.new_input("a")
+        result = a.iterate(lambda inner, scope: inner.map(lambda rec: rec))
+        df.capture(result, "out")
+        with pytest.raises(TypeError, match="key, value"):
+            df.step({"a": {42: 1}})
+
+
+class TestMeterDeterminism:
+    def test_work_identical_across_runs(self):
+        def run():
+            df = Dataflow(workers=4)
+            edges = df.new_input("edges")
+            labels = df.new_input("labels")
+
+            def body(inner, scope):
+                e = scope.enter(edges)
+                seed = scope.enter(labels)
+                return inner.join(
+                    e, lambda u, lbl, v: (v, lbl)).concat(seed).min_by_key()
+
+            df.capture(labels.iterate(body), "out")
+            diff = {}
+            for u, v in [(i, (i * 7 + 1) % 20) for i in range(20)]:
+                if u != v:
+                    diff[(u, v)] = 1
+            df.step({"edges": diff,
+                     "labels": {(v, v): 1 for v in range(20)}})
+            return df.meter.total_work, df.meter.parallel_time
+
+        assert run() == run()

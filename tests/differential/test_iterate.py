@@ -1,0 +1,184 @@
+"""Iterative scopes: fixed points, retractions, nesting, clamps, errors."""
+
+import pytest
+
+from repro.differential import Dataflow
+from repro.differential.operators.iterate import SAFETY_MAX_ITERS
+from repro.errors import DataflowError
+
+
+def bfs_dataflow():
+    df = Dataflow()
+    edges = df.new_input("edges")
+    roots = df.new_input("roots")
+
+    def body(inner, scope):
+        e = scope.enter(edges)
+        r = scope.enter(roots)
+        step = inner.join(e, lambda u, dist, v: (v, dist + 1))
+        return step.concat(r).min_by_key()
+
+    return df, df.capture(roots.iterate(body), "dists")
+
+
+class TestFixedPoint:
+    def test_chain_distances(self):
+        df, out = bfs_dataflow()
+        df.step({"edges": {(0, 1): 1, (1, 2): 1, (2, 3): 1},
+                 "roots": {(0, 0): 1}})
+        assert out.value_at_epoch(0) == {(0, 0): 1, (1, 1): 1,
+                                         (2, 2): 1, (3, 3): 1}
+
+    def test_cycle_converges(self):
+        df, out = bfs_dataflow()
+        df.step({"edges": {(0, 1): 1, (1, 0): 1}, "roots": {(0, 0): 1}})
+        assert out.value_at_epoch(0) == {(0, 0): 1, (1, 1): 1}
+
+    def test_diamond_takes_min(self):
+        df, out = bfs_dataflow()
+        df.step({"edges": {(0, 1): 1, (0, 2): 1, (1, 3): 1, (2, 3): 1,
+                           (3, 4): 1},
+                 "roots": {(0, 0): 1}})
+        assert out.value_at_epoch(0)[(3, 2)] == 1
+        assert out.value_at_epoch(0)[(4, 3)] == 1
+
+
+class TestIncrementalEpochs:
+    def test_edge_addition_extends_reach(self):
+        df, out = bfs_dataflow()
+        df.step({"edges": {(0, 1): 1}, "roots": {(0, 0): 1}})
+        df.step({"edges": {(1, 2): 1}})
+        assert out.diff_at((1,)) == {(2, 2): 1}
+
+    def test_edge_removal_retracts_reach(self):
+        df, out = bfs_dataflow()
+        df.step({"edges": {(0, 1): 1, (1, 2): 1}, "roots": {(0, 0): 1}})
+        df.step({"edges": {(1, 2): -1}})
+        assert out.diff_at((1,)) == {(2, 2): -1}
+
+    def test_shortcut_improves_distance(self):
+        df, out = bfs_dataflow()
+        df.step({"edges": {(0, 1): 1, (1, 2): 1, (2, 3): 1},
+                 "roots": {(0, 0): 1}})
+        df.step({"edges": {(0, 3): 1}})
+        assert out.diff_at((1,)) == {(3, 3): -1, (3, 1): 1}
+
+    def test_shortcut_removal_restores_distance(self):
+        df, out = bfs_dataflow()
+        df.step({"edges": {(0, 1): 1, (1, 2): 1, (2, 3): 1, (0, 3): 1},
+                 "roots": {(0, 0): 1}})
+        df.step({"edges": {(0, 3): -1}})
+        assert out.value_at_epoch(1)[(3, 3)] == 1
+
+    def test_unchanged_epoch_produces_no_diffs(self):
+        df, out = bfs_dataflow()
+        df.step({"edges": {(0, 1): 1, (1, 2): 1}, "roots": {(0, 0): 1}})
+        work_before = df.meter.total_work
+        df.step({})
+        assert out.diff_at((1,)) == {}
+        # An empty epoch costs (almost) nothing: pure sharing.
+        assert df.meter.total_work - work_before == 0
+
+    def test_root_change_reroots_search(self):
+        df, out = bfs_dataflow()
+        df.step({"edges": {(0, 1): 1, (1, 2): 1}, "roots": {(0, 0): 1}})
+        df.step({"roots": {(0, 0): -1, (1, 0): 1}})
+        assert out.value_at_epoch(1) == {(1, 0): 1, (2, 1): 1}
+
+
+class TestNestedIterate:
+    def test_nested_fixed_point_matches_flat(self):
+        df = Dataflow()
+        edges = df.new_input("edges")
+        labels = df.new_input("labels")
+
+        def outer(o_inner, oscope):
+            e_outer = oscope.enter(edges)
+
+            def inner(i_inner, iscope):
+                e = iscope.enter(e_outer)
+                seed = iscope.enter(o_inner)
+                return i_inner.join(
+                    e, lambda u, lbl, v: (v, lbl)).concat(seed).min_by_key()
+
+            return o_inner.iterate(inner)
+
+        out = df.capture(labels.iterate(outer), "out")
+        edge_diff = {}
+        for u, v in [(0, 1), (1, 2), (3, 4)]:
+            edge_diff[(u, v)] = 1
+            edge_diff[(v, u)] = 1
+        df.step({"edges": edge_diff, "labels": {(v, v): 1 for v in range(5)}})
+        assert out.value_at_epoch(0) == {(0, 0): 1, (1, 0): 1, (2, 0): 1,
+                                         (3, 3): 1, (4, 3): 1}
+        # Incremental union of the components, then undo it.
+        df.step({"edges": {(2, 3): 1, (3, 2): 1}})
+        assert out.value_at_epoch(1) == {(v, 0): 1 for v in range(5)}
+        df.step({"edges": {(2, 3): -1, (3, 2): -1}})
+        assert out.value_at_epoch(2) == {(0, 0): 1, (1, 0): 1, (2, 0): 1,
+                                         (3, 3): 1, (4, 3): 1}
+
+
+class TestMaxIters:
+    def test_clamp_stops_iteration(self):
+        df = Dataflow()
+        seed = df.new_input("seed")
+        # Diverging body: value grows every iteration, never converges.
+        grown = seed.iterate(
+            lambda inner, scope: inner.map(lambda rec: (rec[0], rec[1] + 1)),
+            max_iters=5)
+        out = df.capture(grown, "out")
+        df.step({"seed": {("k", 0): 1}})
+        assert out.value_at_epoch(0) == {("k", 5): 1}
+
+    def test_safety_cap_raises_without_max_iters(self):
+        df = Dataflow()
+        seed = df.new_input("seed")
+        grown = seed.iterate(
+            lambda inner, scope: inner.map(lambda rec: (rec[0], rec[1] + 1)))
+        df.capture(grown, "out")
+        assert SAFETY_MAX_ITERS > 1000
+        # Patch the cap down so the test is fast.
+        import repro.differential.operators.iterate as it_mod
+        original = it_mod.SAFETY_MAX_ITERS
+        it_mod.SAFETY_MAX_ITERS = 50
+        try:
+            with pytest.raises(DataflowError, match="safety cap"):
+                df.step({"seed": {("k", 0): 1}})
+        finally:
+            it_mod.SAFETY_MAX_ITERS = original
+
+
+class TestIterateErrors:
+    def test_body_must_return_collection(self):
+        df = Dataflow()
+        seed = df.new_input("seed")
+        with pytest.raises(DataflowError, match="must return a Collection"):
+            seed.iterate(lambda inner, scope: None)
+
+    def test_body_must_stay_in_scope(self):
+        df = Dataflow()
+        seed = df.new_input("seed")
+        other = df.new_input("other")
+        with pytest.raises(DataflowError, match="loop's scope"):
+            seed.iterate(lambda inner, scope: other)
+
+    def test_enter_requires_ancestor(self):
+        df = Dataflow()
+        a = df.new_input("a")
+        b = df.new_input("b")
+
+        holder = {}
+
+        def body_a(inner, scope):
+            holder["scope_a"] = scope
+            return inner.map(lambda rec: rec)
+
+        a.iterate(body_a)
+
+        def body_b(inner, scope):
+            with pytest.raises(DataflowError, match="ancestor"):
+                holder["scope_a"].enter(inner)
+            return inner.map(lambda rec: rec)
+
+        b.iterate(body_b)

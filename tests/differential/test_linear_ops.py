@@ -1,0 +1,111 @@
+"""Linear operators: map, flat_map, filter, concat, negate, distinct."""
+
+import pytest
+
+from repro.differential import Dataflow
+from repro.errors import DataflowError
+
+
+def drive(build, *epochs):
+    """Build a one-input dataflow, run epochs, return the capture."""
+    df = Dataflow()
+    source = df.new_input("in")
+    out = df.capture(build(source), "out")
+    for diff in epochs:
+        df.step({"in": diff})
+    return out
+
+
+class TestMap:
+    def test_transforms_records(self):
+        out = drive(lambda c: c.map(lambda x: x * 2), {1: 1, 2: 1})
+        assert out.value_at_epoch(0) == {2: 1, 4: 1}
+
+    def test_merging_records_sums_multiplicities(self):
+        out = drive(lambda c: c.map(lambda x: x % 2), {1: 1, 3: 1, 2: 1})
+        assert out.value_at_epoch(0) == {1: 2, 0: 1}
+
+    def test_retraction_flows_through(self):
+        out = drive(lambda c: c.map(lambda x: x + 10),
+                    {1: 1, 2: 1}, {1: -1})
+        assert out.diff_at((1,)) == {11: -1}
+        assert out.value_at_epoch(1) == {12: 1}
+
+
+class TestFlatMap:
+    def test_expansion(self):
+        out = drive(lambda c: c.flat_map(lambda x: range(x)), {3: 1})
+        assert out.value_at_epoch(0) == {0: 1, 1: 1, 2: 1}
+
+    def test_empty_expansion(self):
+        out = drive(lambda c: c.flat_map(lambda x: []), {3: 1})
+        assert out.value_at_epoch(0) == {}
+
+    def test_multiplicity_scales(self):
+        out = drive(lambda c: c.flat_map(lambda x: [x, x + 1]), {5: 2})
+        assert out.value_at_epoch(0) == {5: 2, 6: 2}
+
+
+class TestFilter:
+    def test_keeps_matching(self):
+        out = drive(lambda c: c.filter(lambda x: x > 2), {1: 1, 3: 1, 5: 1})
+        assert out.value_at_epoch(0) == {3: 1, 5: 1}
+
+    def test_retraction_of_filtered_record_is_silent(self):
+        out = drive(lambda c: c.filter(lambda x: x > 2),
+                    {1: 1, 3: 1}, {1: -1})
+        assert out.diff_at((1,)) == {}
+
+
+class TestConcatNegate:
+    def test_concat_unions(self):
+        df = Dataflow()
+        a = df.new_input("a")
+        b = df.new_input("b")
+        out = df.capture(a.concat(b), "out")
+        df.step({"a": {1: 1}, "b": {1: 1, 2: 1}})
+        assert out.value_at_epoch(0) == {1: 2, 2: 1}
+
+    def test_negate_subtracts(self):
+        df = Dataflow()
+        a = df.new_input("a")
+        b = df.new_input("b")
+        out = df.capture(a.concat(b.negate()), "out")
+        df.step({"a": {1: 1, 2: 1}, "b": {2: 1}})
+        assert out.value_at_epoch(0) == {1: 1}
+
+    def test_concat_rejects_cross_scope(self):
+        df = Dataflow()
+        a = df.new_input("a")
+        b = df.new_input("b")
+
+        def body(inner, scope):
+            with pytest.raises(DataflowError, match="different scopes"):
+                inner.concat(b)
+            return inner.concat(scope.enter(b)).map(lambda rec: rec)
+
+        result = a.map(lambda x: (x, x)).iterate(
+            lambda inner, scope: body(inner, scope))
+        df.capture(result, "out")
+
+
+class TestDistinct:
+    def test_collapses_multiplicity(self):
+        out = drive(lambda c: c.distinct(), {1: 3, 2: 1})
+        assert out.value_at_epoch(0) == {1: 1, 2: 1}
+
+    def test_incremental_updates(self):
+        out = drive(lambda c: c.distinct(), {1: 3}, {1: -2}, {1: -1})
+        assert out.value_at_epoch(0) == {1: 1}
+        assert out.diff_at((1,)) == {}       # 3 -> 1 copies: still present
+        assert out.diff_at((2,)) == {1: -1}  # last copy gone
+
+
+class TestInspect:
+    def test_callback_sees_diffs(self):
+        seen = []
+        out = drive(
+            lambda c: c.inspect(lambda t, d: seen.append((t, d))),
+            {1: 1}, {1: -1})
+        assert seen == [((0,), {1: 1}), ((1,), {1: -1})]
+        assert out.value_at_epoch(1) == {}

@@ -1,0 +1,93 @@
+"""Unit and property tests for the multiset algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.differential.multiset import (
+    add_into,
+    assert_nonnegative,
+    consolidate,
+    from_records,
+    from_weighted,
+    is_empty,
+    negate,
+    size,
+    subtract,
+)
+
+diffs = st.dictionaries(st.integers(0, 9), st.integers(-5, 5).filter(bool),
+                        max_size=8)
+
+
+class TestConsolidate:
+    def test_drops_zeros(self):
+        assert consolidate({"a": 0, "b": 2}) == {"b": 2}
+
+    def test_keeps_negative(self):
+        assert consolidate({"a": -3}) == {"a": -3}
+
+    def test_empty(self):
+        assert consolidate({}) == {}
+
+
+class TestAddInto:
+    def test_merges_and_cancels(self):
+        target = {"a": 1, "b": 2}
+        add_into(target, {"a": -1, "c": 3})
+        assert target == {"b": 2, "c": 3}
+
+    def test_factor(self):
+        target = {"a": 1}
+        add_into(target, {"a": 1, "b": 2}, factor=-1)
+        assert target == {"b": -2}
+
+    @given(diffs, diffs)
+    def test_matches_manual_sum(self, a, b):
+        target = dict(a)
+        add_into(target, b)
+        for key in set(a) | set(b):
+            expected = a.get(key, 0) + b.get(key, 0)
+            assert target.get(key, 0) == expected
+        assert 0 not in target.values()
+
+
+class TestSubtractNegate:
+    @given(diffs)
+    def test_self_subtraction_is_empty(self, a):
+        assert subtract(a, a) == {}
+
+    @given(diffs)
+    def test_negate_twice_is_identity(self, a):
+        assert negate(negate(a)) == a
+
+    @given(diffs, diffs)
+    def test_subtract_then_add_back(self, a, b):
+        result = subtract(a, b)
+        add_into(result, b)
+        assert result == consolidate(dict(a))
+
+
+class TestConstructors:
+    def test_from_records_counts(self):
+        assert from_records(["x", "y", "x"]) == {"x": 2, "y": 1}
+
+    def test_from_weighted_cancels(self):
+        assert from_weighted([("x", 2), ("x", -2), ("y", 1)]) == {"y": 1}
+
+
+class TestPredicates:
+    def test_is_empty(self):
+        assert is_empty({})
+        assert not is_empty({"a": 1})
+
+    @given(diffs)
+    def test_size_is_total_absolute_multiplicity(self, a):
+        assert size(a) == sum(abs(m) for m in a.values())
+
+    def test_assert_nonnegative_raises(self):
+        with pytest.raises(ValueError, match="negative multiplicity"):
+            assert_nonnegative({"a": -1}, context="test")
+
+    def test_assert_nonnegative_passes(self):
+        assert_nonnegative({"a": 2})

@@ -1,0 +1,130 @@
+"""CSV loading/saving round trips and the graph/view stores."""
+
+import pytest
+
+from repro.errors import SchemaError, StoreError, UnknownGraphError
+from repro.graph.csv_loader import (
+    load_graph_csv,
+    save_graph_csv,
+)
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.store import GraphStore, ViewStore
+
+
+@pytest.fixture
+def csv_files(tmp_path):
+    nodes = tmp_path / "nodes.csv"
+    edges = tmp_path / "edges.csv"
+    nodes.write_text(
+        "id,city:str,vip:bool\n"
+        "1,LA,true\n"
+        "2,NY,false\n"
+        "3,LA,true\n")
+    edges.write_text(
+        "src,dst,duration:int\n"
+        "1,2,7\n"
+        "2,3,19\n")
+    return nodes, edges
+
+
+class TestCsvLoading:
+    def test_load_graph(self, csv_files):
+        nodes, edges = csv_files
+        graph = load_graph_csv("calls", nodes, edges)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+        assert graph.node_property(1, "vip") is True
+        assert graph.edges[0].properties["duration"] == 7
+
+    def test_round_trip(self, csv_files, tmp_path):
+        nodes, edges = csv_files
+        graph = load_graph_csv("calls", nodes, edges)
+        out_nodes = tmp_path / "out.nodes.csv"
+        out_edges = tmp_path / "out.edges.csv"
+        save_graph_csv(graph, out_nodes, out_edges)
+        reloaded = load_graph_csv("calls", out_nodes, out_edges)
+        assert reloaded.num_nodes == graph.num_nodes
+        assert reloaded.num_edges == graph.num_edges
+        assert reloaded.nodes[1].properties == graph.nodes[1].properties
+        assert reloaded.edges[1].properties == graph.edges[1].properties
+
+    def test_missing_id_column(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("name\nx\n")
+        with pytest.raises(SchemaError, match="'id' column"):
+            load_graph_csv("g", bad, bad)
+
+    def test_bad_edges_header(self, csv_files, tmp_path):
+        nodes, _edges = csv_files
+        bad = tmp_path / "bad_edges.csv"
+        bad.write_text("from,to\n1,2\n")
+        with pytest.raises(SchemaError, match="src,dst"):
+            load_graph_csv("g", nodes, bad)
+
+    def test_column_count_mismatch(self, csv_files, tmp_path):
+        nodes, _ = csv_files
+        bad = tmp_path / "bad_edges.csv"
+        bad.write_text("src,dst,duration:int\n1,2\n")
+        with pytest.raises(SchemaError, match="expected 3 columns"):
+            load_graph_csv("g", nodes, bad)
+
+    def test_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            load_graph_csv("g", empty, empty)
+
+
+class TestGraphStore:
+    def test_add_get(self):
+        store = GraphStore()
+        graph = PropertyGraph("g")
+        store.add(graph)
+        assert store.get("g") is graph
+        assert "g" in store
+
+    def test_duplicate_rejected(self):
+        store = GraphStore()
+        store.add(PropertyGraph("g"))
+        with pytest.raises(StoreError, match="already exists"):
+            store.add(PropertyGraph("g"))
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownGraphError):
+            GraphStore().get("nope")
+
+    def test_persistence_round_trip(self, csv_files, tmp_path):
+        nodes, edges = csv_files
+        store = GraphStore()
+        store.add(load_graph_csv("calls", nodes, edges))
+        directory = tmp_path / "store"
+        store.save(directory)
+        reloaded = GraphStore.load(directory)
+        assert reloaded.get("calls").num_edges == 2
+
+    def test_load_without_manifest(self, tmp_path):
+        with pytest.raises(StoreError, match="manifest"):
+            GraphStore.load(tmp_path)
+
+
+class TestViewStore:
+    def test_views_and_collections_share_namespace(self):
+        store = ViewStore()
+        store.add_view("v", PropertyGraph("v"))
+        with pytest.raises(StoreError):
+            store.add_collection("v", object())
+        store.add_collection("c", object())
+        with pytest.raises(StoreError):
+            store.add_view("c", PropertyGraph("c"))
+
+    def test_lookups(self):
+        store = ViewStore()
+        view = PropertyGraph("v")
+        store.add_view("v", view)
+        assert store.get_view("v") is view
+        assert store.has_view("v")
+        assert not store.has_collection("v")
+        with pytest.raises(UnknownGraphError):
+            store.get_collection("v")
+        with pytest.raises(UnknownGraphError):
+            store.get_view("missing")

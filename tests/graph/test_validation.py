@@ -1,0 +1,83 @@
+"""Graph validation."""
+
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.schema import PropertyType, Schema
+from repro.graph.validation import validate
+
+
+def test_clean_graph_passes(call_graph):
+    report = validate(call_graph)
+    assert report.ok
+    assert report.self_loops == 0
+    assert report.duplicate_edges == 0
+    assert "OK" in report.render()
+
+
+def test_self_loops_and_duplicates_warned():
+    graph = PropertyGraph("g")
+    graph.add_node(1)
+    graph.add_node(2)
+    graph.add_edge(1, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(1, 2)
+    report = validate(graph)
+    assert report.ok  # warnings, not errors
+    assert report.self_loops == 1
+    assert report.duplicate_edges == 1
+    assert len(report.warnings) == 2
+
+
+def test_missing_node_property_is_error():
+    graph = PropertyGraph("g", node_schema=Schema({"city": PropertyType.STRING}))
+    graph.add_node(1, {"city": "LA"})
+    # Bypass the constructor check to simulate corrupted data.
+    graph.nodes[1].properties.pop("city")
+    report = validate(graph)
+    assert not report.ok
+    assert "missing properties" in report.errors[0]
+
+
+def test_type_mismatch_is_error():
+    graph = PropertyGraph("g", node_schema=Schema({"age": PropertyType.INT}))
+    graph.add_node(1, {"age": 30})
+    graph.nodes[1].properties["age"] = "thirty"
+    report = validate(graph)
+    assert not report.ok
+    assert "schema says int" in report.errors[0]
+
+
+def test_bool_masquerading_as_int_is_error():
+    graph = PropertyGraph("g", node_schema=Schema({"age": PropertyType.INT}))
+    graph.add_node(1, {"age": 30})
+    graph.nodes[1].properties["age"] = True
+    report = validate(graph)
+    assert not report.ok
+
+
+def test_undeclared_property_is_warning():
+    graph = PropertyGraph("g", node_schema=Schema({"city": PropertyType.STRING}))
+    graph.add_node(1, {"city": "LA"})
+    graph.nodes[1].properties["extra"] = 1
+    report = validate(graph)
+    assert report.ok
+    assert "undeclared" in report.warnings[0]
+
+
+def test_dangling_endpoint_is_error():
+    graph = PropertyGraph("g")
+    graph.add_node(1)
+    graph.add_node(2)
+    graph.add_edge(1, 2)
+    del graph.nodes[2]  # simulate corruption
+    report = validate(graph)
+    assert not report.ok
+    assert "dangling destination" in report.errors[0]
+
+
+def test_findings_capped():
+    graph = PropertyGraph("g", node_schema=Schema({"x": PropertyType.INT}))
+    for node_id in range(100):
+        graph.add_node(node_id, {"x": 1})
+        graph.nodes[node_id].properties.pop("x")
+    report = validate(graph, max_findings=10)
+    assert len(report.errors) == 10

@@ -1,0 +1,81 @@
+"""GVDL language extensions: BETWEEN and IN."""
+
+import pytest
+
+from repro.errors import GvdlSyntaxError
+from repro.gvdl.ast import And, Comparison, Not, Or
+from repro.gvdl.parser import parse
+from repro.gvdl.predicate import compile_predicate
+
+
+def pred_of(clause):
+    return parse(f"create view v on g edges where {clause}").predicate
+
+
+class TestBetween:
+    def test_desugars_to_range(self):
+        predicate = pred_of("year between 2010 and 2015")
+        assert isinstance(predicate, And)
+        ops = [c.op for c in predicate.operands]
+        assert ops == [">=", "<="]
+
+    def test_evaluates(self):
+        f = compile_predicate(pred_of("year between 2010 and 2015"))
+        assert f({"year": 2012}, {}, {})
+        assert f({"year": 2010}, {}, {})
+        assert f({"year": 2015}, {}, {})
+        assert not f({"year": 2016}, {}, {})
+
+    def test_composes_with_and(self):
+        f = compile_predicate(
+            pred_of("year between 2010 and 2015 and duration > 3"))
+        assert f({"year": 2012, "duration": 5}, {}, {})
+        assert not f({"year": 2012, "duration": 2}, {}, {})
+
+    def test_src_properties(self):
+        f = compile_predicate(pred_of("src.age between 20 and 30"))
+        assert f({}, {"age": 25}, {})
+        assert not f({}, {"age": 31}, {})
+
+    def test_incomplete_between(self):
+        with pytest.raises(GvdlSyntaxError):
+            pred_of("year between 2010")
+
+
+class TestIn:
+    def test_desugars_to_disjunction(self):
+        predicate = pred_of("city in ('LA', 'NY', 'DC')")
+        assert isinstance(predicate, Or)
+        assert all(c.op == "=" for c in predicate.operands)
+
+    def test_single_element(self):
+        predicate = pred_of("city in ('LA')")
+        assert isinstance(predicate, Comparison)
+
+    def test_evaluates(self):
+        f = compile_predicate(pred_of("city in ('LA', 'NY')"))
+        assert f({"city": "LA"}, {}, {})
+        assert not f({"city": "DC"}, {}, {})
+
+    def test_not_in(self):
+        predicate = pred_of("city not in ('LA', 'NY')")
+        assert isinstance(predicate, Not)
+        f = compile_predicate(predicate)
+        assert f({"city": "DC"}, {}, {})
+        assert not f({"city": "LA"}, {}, {})
+
+    def test_numbers(self):
+        f = compile_predicate(pred_of("year in (2010, 2012)"))
+        assert f({"year": 2012}, {}, {})
+        assert not f({"year": 2011}, {}, {})
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(GvdlSyntaxError):
+            pred_of("city in ()")
+
+    def test_in_within_collection_statement(self):
+        stmt = parse(
+            "create view collection c on g "
+            "[a: city in ('LA') and year between 2010 and 2012], "
+            "[b: city not in ('LA')]")
+        assert len(stmt.views) == 2

@@ -1,0 +1,57 @@
+"""GVDL lexer tests."""
+
+import pytest
+
+from repro.errors import GvdlSyntaxError
+from repro.gvdl.lexer import tokenize
+from repro.gvdl.tokens import TokenType
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("CREATE View") == [
+            (TokenType.KEYWORD, "create"), (TokenType.KEYWORD, "view")]
+
+    def test_hyphenated_identifiers(self):
+        assert kinds("call-analysis D1-Y2010") == [
+            (TokenType.IDENT, "call-analysis"),
+            (TokenType.IDENT, "D1-Y2010")]
+
+    def test_numbers_and_comparisons(self):
+        assert kinds("duration<=34") == [
+            (TokenType.IDENT, "duration"),
+            (TokenType.SYMBOL, "<="),
+            (TokenType.NUMBER, 34)]
+
+    def test_string_literal(self):
+        assert kinds("'CA'") == [(TokenType.STRING, "CA")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(GvdlSyntaxError, match="unterminated"):
+            tokenize("'CA")
+
+    def test_all_symbols(self):
+        text = "( ) [ ] , : . = != <> <= >= < > * ;"
+        values = [v for _t, v in kinds(text)]
+        assert values == ["(", ")", "[", "]", ",", ":", ".", "=", "!=",
+                          "<>", "<=", ">=", "<", ">", "*", ";"]
+
+    def test_comments_skipped(self):
+        assert kinds("# a comment\nview") == [(TokenType.KEYWORD, "view")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(GvdlSyntaxError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_eof_token_present(self):
+        tokens = tokenize("a")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_position_tracking(self):
+        tokens = tokenize("ab  cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 4

@@ -1,0 +1,103 @@
+"""Predicate compilation and evaluation."""
+
+import pytest
+
+from repro.errors import GvdlTypeError, UnknownPropertyError
+from repro.graph.schema import PropertyType, Schema
+from repro.gvdl.parser import parse
+from repro.gvdl.predicate import (
+    compile_node_predicate,
+    compile_predicate,
+    predicate_properties,
+)
+
+
+def pred_of(where_clause):
+    return parse(f"create view v on g edges where {where_clause}").predicate
+
+
+class TestEvaluation:
+    def test_edge_property_comparison(self):
+        f = compile_predicate(pred_of("duration > 10"))
+        assert f({"duration": 11}, {}, {})
+        assert not f({"duration": 10}, {}, {})
+
+    def test_src_dst_lookup(self):
+        f = compile_predicate(pred_of("src.city = 'LA' and dst.city = 'NY'"))
+        assert f({}, {"city": "LA"}, {"city": "NY"})
+        assert not f({}, {"city": "NY"}, {"city": "LA"})
+
+    def test_prop_to_prop(self):
+        f = compile_predicate(pred_of("src.city = dst.city"))
+        assert f({}, {"city": "LA"}, {"city": "LA"})
+        assert not f({}, {"city": "LA"}, {"city": "NY"})
+
+    @pytest.mark.parametrize("clause,props,expected", [
+        ("x = 5", {"x": 5}, True),
+        ("x != 5", {"x": 5}, False),
+        ("x < 5", {"x": 4}, True),
+        ("x <= 5", {"x": 5}, True),
+        ("x > 5", {"x": 6}, True),
+        ("x >= 5", {"x": 4}, False),
+    ])
+    def test_all_operators(self, clause, props, expected):
+        assert compile_predicate(pred_of(clause))(props, {}, {}) is expected
+
+    def test_boolean_connectives(self):
+        f = compile_predicate(pred_of("not (a = 1 or b = 2)"))
+        assert f({"a": 0, "b": 0}, {}, {})
+        assert not f({"a": 1, "b": 0}, {}, {})
+
+    def test_bool_literals(self):
+        assert compile_predicate(pred_of("true"))({}, {}, {})
+        assert not compile_predicate(pred_of("false"))({}, {}, {})
+
+    def test_missing_property_at_eval_raises(self):
+        f = compile_predicate(pred_of("x = 1"))
+        with pytest.raises(UnknownPropertyError, match="no property"):
+            f({}, {}, {})
+
+    def test_type_mismatch_raises(self):
+        f = compile_predicate(pred_of("x < 5"))
+        with pytest.raises(GvdlTypeError, match="cannot compare"):
+            f({"x": "string"}, {}, {})
+
+
+class TestSchemaValidation:
+    def test_unknown_edge_property_rejected(self):
+        schema = Schema({"duration": PropertyType.INT})
+        with pytest.raises(UnknownPropertyError, match="edge property"):
+            compile_predicate(pred_of("length > 3"), edge_schema=schema)
+
+    def test_unknown_node_property_rejected(self):
+        node_schema = Schema({"city": PropertyType.STRING})
+        with pytest.raises(UnknownPropertyError, match="src.state"):
+            compile_predicate(pred_of("src.state = 'CA'"),
+                              node_schema=node_schema)
+
+    def test_known_properties_pass(self):
+        edge_schema = Schema({"duration": PropertyType.INT})
+        node_schema = Schema({"city": PropertyType.STRING})
+        compile_predicate(pred_of("duration > 1 and src.city = 'LA'"),
+                          edge_schema=edge_schema, node_schema=node_schema)
+
+    def test_empty_schema_skips_validation(self):
+        compile_predicate(pred_of("anything = 1"), edge_schema=Schema())
+
+
+class TestNodePredicates:
+    def test_bare_names_resolve_to_node(self):
+        f = compile_node_predicate(pred_of("profession = 'Doctor'"))
+        assert f({"profession": "Doctor"})
+        assert not f({"profession": "Lawyer"})
+
+    def test_src_dst_rejected_in_node_context(self):
+        with pytest.raises(GvdlTypeError, match="not allowed"):
+            compile_node_predicate(pred_of("src.city = 'LA'"))
+
+
+class TestIntrospection:
+    def test_predicate_properties(self):
+        refs = predicate_properties(
+            pred_of("src.a = 1 and dst.b = 2 or not c = 3"))
+        assert refs == {("src", "a"), ("dst", "b"), ("edge", "c")}

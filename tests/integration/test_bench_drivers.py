@@ -1,0 +1,55 @@
+"""Smoke tests for the experiment drivers (quick mode, tiny scale).
+
+These guarantee every table/figure driver runs end to end and emits the
+expected row structure; the benches under ``benchmarks/`` assert the paper
+shapes at full experiment scale.
+"""
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.3")
+
+
+@pytest.mark.parametrize("name", ["table2", "fig6", "fig7", "table4",
+                                  "fig10", "ablation", "baselines"])
+def test_driver_runs_and_returns_rows(name, capsys):
+    rows = EXPERIMENTS[name](quick=True)
+    assert rows, name
+    printed = capsys.readouterr().out
+    assert name.replace("fig", "Figure ").replace("table", "Table ") \
+        .split()[0] in printed or printed  # a table was printed
+    for row in rows:
+        assert row.experiment == name
+        assert row.num_views >= 1
+        assert row.wall_seconds >= 0
+
+
+def test_table3_driver(capsys):
+    rows = EXPERIMENTS["table3"](quick=True)
+    configs = {row.config for row in rows}
+    assert {"1:C_sl", "2:C_ex-sh-sl", "3:C_aut"} <= configs
+
+
+def test_fig8_driver():
+    rows = EXPERIMENTS["fig8"](quick=True)
+    assert {row.mode for row in rows} == {"diff-only", "adaptive"}
+    assert any("Ord." in row.config for row in rows)
+    assert any("R1" in row.config for row in rows)
+
+
+def test_fig9_driver():
+    rows = EXPERIMENTS["fig9"](quick=True)
+    assert all(row.dataset == "WTC-like" for row in rows)
+
+
+def test_cli_main(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["table4", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 4" in out

@@ -1,0 +1,149 @@
+"""Full-pipeline integration: datasets -> GVDL-style definitions ->
+materialization (with ordering) -> analytics executor -> reference checks."""
+
+import pytest
+
+from repro.algorithms import Bfs, Wcc
+from repro.algorithms.reference import reference_bfs, reference_wcc
+from repro.bench.workloads import (
+    caut_collection,
+    cno_collection,
+    csim_collection,
+    csl_collection,
+    orkut_churn_collection,
+    perturbation_collection,
+    scalability_collection,
+)
+from repro.core.executor import AnalyticsExecutor, ExecutionMode
+from repro.datasets import citations_like, community_graph, stackoverflow_like
+
+
+@pytest.fixture(scope="module")
+def so_graph():
+    return stackoverflow_like(num_nodes=80, num_edges=400, seed=0)
+
+
+@pytest.fixture(scope="module")
+def pc_graph():
+    return citations_like(num_nodes=120, num_edges=420, seed=0)
+
+
+def check_all_views(collection, computation, reference, mode):
+    result = AnalyticsExecutor().run_on_collection(
+        computation, collection, mode=mode, keep_outputs=True,
+        cost_metric="work")
+    for index in range(collection.num_views):
+        triples = [(s, d, w) for (_e, s, d, w)
+                   in collection.full_view_edges(index)]
+        assert result.views[index].vertex_map() == reference(triples), \
+            f"{collection.name} view {index} mode {mode}"
+    return result
+
+
+class TestTemporalCollections:
+    def test_csim_is_addition_only(self, so_graph):
+        collection = csim_collection(so_graph, 365 * 86400, max_views=6)
+        for diff in collection.diffs:
+            assert all(mult == 1 for mult in diff.values())
+        assert collection.view_sizes == sorted(collection.view_sizes)
+
+    def test_csim_diff_only_wins(self, so_graph):
+        collection = csim_collection(so_graph, 180 * 86400, max_views=8)
+        executor = AnalyticsExecutor()
+        diff = executor.run_on_collection(
+            Wcc(), collection, mode=ExecutionMode.DIFF_ONLY)
+        scratch = executor.run_on_collection(
+            Wcc(), collection, mode=ExecutionMode.SCRATCH)
+        assert diff.total_work < scratch.total_work
+
+    def test_cno_views_disjoint(self, so_graph):
+        collection = cno_collection(so_graph, 2 * 365 * 86400, max_views=4)
+        previous = set()
+        for index in range(collection.num_views):
+            view = set(collection.full_view_edges(index))
+            assert not (view & previous)
+            previous = view
+
+    @pytest.mark.parametrize("mode", [ExecutionMode.DIFF_ONLY,
+                                      ExecutionMode.ADAPTIVE])
+    def test_correctness_on_cno(self, so_graph, mode):
+        collection = cno_collection(so_graph, 2 * 365 * 86400, max_views=4)
+        check_all_views(collection, Wcc(), reference_wcc, mode)
+
+
+class TestCitationCollections:
+    def test_csl_all_views_correct(self, pc_graph):
+        collection = csl_collection(pc_graph)
+        assert collection.num_views == 16
+        check_all_views(collection, Bfs(), reference_bfs,
+                        ExecutionMode.ADAPTIVE)
+
+    def test_caut_structure_and_split_points(self):
+        # A larger citation graph so per-view costs dominate model noise.
+        graph = citations_like(num_nodes=400, num_edges=1600, seed=0)
+        collection = caut_collection(graph)
+        assert collection.num_views == 25
+        # Within a year window the author expansion is addition-only.
+        for index, diff in enumerate(collection.diffs):
+            if index % 5 != 0 and diff:
+                assert all(mult == 1 for mult in diff.values()), index
+        result = AnalyticsExecutor().run_on_collection(
+            Wcc(), collection, mode=ExecutionMode.ADAPTIVE, batch_size=1,
+            cost_metric="work")
+        # The optimizer must split somewhere, and predominantly at the
+        # year-window slides (view indices that are multiples of 5).
+        assert result.split_points
+        at_slides = [s for s in result.split_points if s % 5 == 0]
+        assert len(at_slides) >= len(result.split_points) / 2, \
+            result.split_points
+
+
+class TestPerturbationCollections:
+    def test_ordering_reduces_diffs(self):
+        graph = community_graph(num_nodes=90, num_communities=8,
+                                intra_edges=360, background_edges=60, seed=3)
+        ordered = perturbation_collection(graph, 6, 3,
+                                          order_method="christofides")
+        shuffled = perturbation_collection(graph, 6, 3,
+                                           order_method="random", seed=1)
+        assert ordered.num_views == 20
+        assert ordered.total_diffs < shuffled.total_diffs
+
+    def test_ordered_collection_correct(self):
+        graph = community_graph(num_nodes=60, num_communities=6,
+                                intra_edges=200, background_edges=40, seed=4)
+        collection = perturbation_collection(graph, 5, 2,
+                                             order_method="christofides")
+        check_all_views(collection, Wcc(), reference_wcc,
+                        ExecutionMode.DIFF_ONLY)
+
+
+class TestChurnAndScalability:
+    def test_orkut_churn_views_accumulate(self):
+        collection = orkut_churn_collection(num_nodes=50, num_edges=200,
+                                            num_views=6,
+                                            additions_per_view=10,
+                                            removals_per_view=10, seed=0)
+        sizes = collection.view_sizes
+        assert sizes[0] == 200
+        assert all(size > 0 for size in sizes)
+        for index in range(collection.num_views):
+            view = collection.full_view_edges(index)
+            assert all(mult == 1 for mult in view.values())
+
+    def test_scalability_collection_speedup(self):
+        _graph, collection = scalability_collection(num_nodes=80,
+                                                    num_edges=400)
+        assert collection.num_views == 9
+
+        def parallel_time(workers):
+            executor = AnalyticsExecutor(workers=workers)
+            result = executor.run_on_collection(
+                Wcc(), collection, mode=ExecutionMode.DIFF_ONLY)
+            return result.total_parallel_time
+
+        t1 = parallel_time(1)
+        t4 = parallel_time(4)
+        t12 = parallel_time(12)
+        assert t1 > t4 > t12
+        assert t1 / t4 > 1.4  # meaningful speedup even at this tiny scale

@@ -1,0 +1,68 @@
+"""The example scripts must stay runnable (they double as documentation)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_quickstart(capsys):
+    run_example("quickstart")
+    out = capsys.readouterr().out
+    assert "LA-Long-Calls" in out
+    assert "sharing factor" in out
+
+
+def test_graph_olap(capsys):
+    run_example("graph_olap")
+    out = capsys.readouterr().out
+    assert "city rollup" in out
+    assert "state rollup" in out
+    assert "PageRank" in out
+
+
+@pytest.mark.slow
+def test_adaptive_splitting(capsys):
+    run_example("adaptive_splitting")
+    out = capsys.readouterr().out
+    assert "split points" in out
+    assert "S d d d d" in out
+
+
+@pytest.mark.slow
+def test_contingency_analysis(capsys):
+    run_example("contingency_analysis")
+    out = capsys.readouterr().out
+    assert "failure scenarios" in out
+    assert "optimizer order" in out
+
+
+@pytest.mark.slow
+def test_historical_analysis(capsys):
+    run_example("historical_analysis")
+    out = capsys.readouterr().out
+    assert "connectivity history" in out
+    assert "differential sharing" in out
+
+
+def test_snap_workflow(capsys):
+    run_example("snap_workflow")
+    out = capsys.readouterr().out
+    assert "SNAP temporal format" in out
+    assert "ground-truth" in out
+    assert "perturbation scenarios" in out

@@ -1,0 +1,83 @@
+"""Property test: for ANY collection, all execution modes produce the same
+per-view outputs — only cost may differ. This is Graphsurge's core
+correctness contract (the splitting optimizer must never change results).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import Bfs, Wcc
+from repro.core.executor import AnalyticsExecutor, ExecutionMode
+from repro.core.view_collection import collection_from_diffs
+
+
+def build_collection(seed, num_views, churn):
+    rng = random.Random(seed)
+    n = 12
+    ids = {}
+
+    def key(pair):
+        ids.setdefault(pair, len(ids))
+        return (ids[pair], pair[0], pair[1], 1)
+
+    current = set()
+    diffs = []
+    for _view in range(num_views):
+        diff = {}
+        for _ in range(churn):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            if (u, v) in current:
+                current.discard((u, v))
+                k = key((u, v))
+                if diff.get(k) == 1:
+                    del diff[k]
+                else:
+                    diff[k] = -1
+            else:
+                current.add((u, v))
+                k = key((u, v))
+                if diff.get(k) == -1:
+                    del diff[k]
+                else:
+                    diff[k] = 1
+        diffs.append(diff)
+    return collection_from_diffs(f"prop-{seed}", diffs)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       num_views=st.integers(2, 6),
+       churn=st.integers(1, 8),
+       batch_size=st.integers(1, 4))
+def test_all_modes_agree(seed, num_views, churn, batch_size):
+    collection = build_collection(seed, num_views, churn)
+    executor = AnalyticsExecutor()
+    outputs = {}
+    for mode in ExecutionMode:
+        result = executor.run_on_collection(
+            Wcc(), collection, mode=mode, batch_size=batch_size,
+            keep_outputs=True, cost_metric="work")
+        outputs[mode] = [view.output for view in result.views]
+    assert outputs[ExecutionMode.DIFF_ONLY] == \
+        outputs[ExecutionMode.SCRATCH]
+    assert outputs[ExecutionMode.ADAPTIVE] == \
+        outputs[ExecutionMode.SCRATCH]
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_modes_agree_for_bfs(seed):
+    collection = build_collection(seed, 4, 5)
+    executor = AnalyticsExecutor()
+    outputs = {}
+    for mode in ExecutionMode:
+        result = executor.run_on_collection(
+            Bfs(), collection, mode=mode, keep_outputs=True,
+            cost_metric="work")
+        outputs[mode] = [view.output for view in result.views]
+    assert outputs[ExecutionMode.DIFF_ONLY] == outputs[ExecutionMode.SCRATCH]
+    assert outputs[ExecutionMode.ADAPTIVE] == outputs[ExecutionMode.SCRATCH]

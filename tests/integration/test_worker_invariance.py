@@ -1,0 +1,43 @@
+"""Worker-count invariance: sharding affects simulated time, never results
+or total work."""
+
+import pytest
+
+from repro.algorithms import Bfs, PageRank, Scc, Wcc
+from repro.bench.workloads import orkut_churn_collection
+from repro.core.executor import AnalyticsExecutor, ExecutionMode
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return orkut_churn_collection(num_nodes=60, num_edges=240, num_views=5,
+                                  additions_per_view=8,
+                                  removals_per_view=8, seed=2)
+
+
+@pytest.mark.parametrize("factory", [Wcc, Bfs, Scc,
+                                     lambda: PageRank(iterations=5)],
+                         ids=["WCC", "BFS", "SCC", "PR"])
+def test_results_and_work_invariant_under_sharding(collection, factory):
+    baselines = None
+    for workers in (1, 3, 8):
+        executor = AnalyticsExecutor(workers=workers)
+        result = executor.run_on_collection(
+            factory(), collection, mode=ExecutionMode.DIFF_ONLY,
+            keep_outputs=True, cost_metric="work")
+        outputs = [view.output for view in result.views]
+        summary = (outputs, result.total_work)
+        if baselines is None:
+            baselines = summary
+        else:
+            assert summary == baselines, f"workers={workers}"
+
+
+def test_parallel_time_monotone_in_workers(collection):
+    times = []
+    for workers in (1, 4, 12):
+        executor = AnalyticsExecutor(workers=workers)
+        result = executor.run_on_collection(
+            Wcc(), collection, mode=ExecutionMode.DIFF_ONLY)
+        times.append(result.total_parallel_time)
+    assert times[0] >= times[1] >= times[2]

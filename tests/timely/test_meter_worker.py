@@ -1,0 +1,107 @@
+"""Work meter and worker sharding tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timely.meter import WorkMeter
+from repro.timely.worker import shard_for, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash(12345) == stable_hash(12345)
+        assert stable_hash((1, "x")) == stable_hash((1, "x"))
+
+    def test_spreads_small_ints(self):
+        shards = {shard_for(i, 8) for i in range(100)}
+        assert len(shards) == 8
+
+    @given(st.one_of(st.integers(), st.text(), st.booleans(), st.none(),
+                     st.tuples(st.integers(), st.text())))
+    def test_hash_in_64_bit_range(self, value):
+        h = stable_hash(value)
+        assert 0 <= h < 2 ** 64
+
+    def test_distinct_values_differ(self):
+        assert stable_hash("a") != stable_hash("b")
+        assert stable_hash(True) != stable_hash(False)
+        assert stable_hash(1) != stable_hash(2)
+
+
+class TestShardFor:
+    def test_single_worker_always_zero(self):
+        assert shard_for("anything", 1) == 0
+
+    @given(st.integers(), st.integers(2, 16))
+    def test_in_range(self, key, workers):
+        assert 0 <= shard_for(key, workers) < workers
+
+
+class TestWorkMeter:
+    def test_serial_work_outside_steps(self):
+        meter = WorkMeter(workers=4)
+        meter.record("k", 10)
+        assert meter.total_work == 10
+        assert meter.parallel_time == 10
+
+    def test_parallel_time_is_max_per_worker(self):
+        meter = WorkMeter(workers=2)
+        meter.begin_step()
+        # Find two keys on different workers.
+        keys = {}
+        for i in range(100):
+            keys.setdefault(shard_for(i, 2), i)
+            if len(keys) == 2:
+                break
+        meter.record(keys[0], 10)
+        meter.record(keys[1], 4)
+        meter.end_step()
+        assert meter.total_work == 14
+        assert meter.parallel_time == 10
+        assert meter.supersteps == 1
+
+    def test_empty_step_not_counted(self):
+        meter = WorkMeter()
+        meter.begin_step()
+        meter.end_step()
+        assert meter.supersteps == 0
+
+    def test_zero_units_ignored(self):
+        meter = WorkMeter()
+        meter.record("k", 0)
+        assert meter.total_work == 0
+
+    def test_snapshot_delta(self):
+        meter = WorkMeter()
+        meter.record("k", 5)
+        first = meter.snapshot()
+        meter.record("k", 7)
+        delta = first.delta(meter.snapshot())
+        assert delta.total_work == 7
+
+    def test_reset(self):
+        meter = WorkMeter()
+        meter.record("k", 5)
+        meter.reset()
+        assert meter.total_work == 0
+        assert meter.parallel_time == 0
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            WorkMeter(workers=0)
+
+    def test_more_workers_not_slower(self):
+        """Simulated parallel time must be monotone in worker count."""
+        def run(workers):
+            meter = WorkMeter(workers=workers)
+            meter.begin_step()
+            for i in range(200):
+                meter.record(i, 1)
+            meter.end_step()
+            return meter.parallel_time
+
+        t1, t4, t8 = run(1), run(4), run(8)
+        assert t1 >= t4 >= t8
+        assert t1 == 200
