@@ -22,6 +22,9 @@ __all__ = [
     "GraphComputation",
     "ExecutionMode",
     "PropertyGraph",
+    "RunBudget",
+    "RetryPolicy",
+    "FaultPlan",
     "__version__",
 ]
 
@@ -30,6 +33,9 @@ _LAZY = {
     "GraphComputation": ("repro.core.computation", "GraphComputation"),
     "ExecutionMode": ("repro.core.executor", "ExecutionMode"),
     "PropertyGraph": ("repro.graph.property_graph", "PropertyGraph"),
+    "RunBudget": ("repro.core.resilience", "RunBudget"),
+    "RetryPolicy": ("repro.core.resilience", "RetryPolicy"),
+    "FaultPlan": ("repro.core.resilience", "FaultPlan"),
 }
 
 

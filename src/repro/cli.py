@@ -128,6 +128,27 @@ def build_parser() -> argparse.ArgumentParser:
                      help="mpsp pairs as src:dst,src:dst,...")
     run.add_argument("--out", default=None, metavar="FILE",
                      help="write per-view results to a CSV file")
+    run.add_argument("--checkpoint", default=None, metavar="FILE",
+                     help="journal each completed view to a resumable "
+                          "checkpoint file")
+    run.add_argument("--resume", action="store_true",
+                     help="resume an interrupted collection run from the "
+                          "--checkpoint file")
+    run.add_argument("--max-wall-seconds", type=float, default=None,
+                     help="abort (with partial progress) past this wall "
+                          "time")
+    run.add_argument("--max-work", type=int, default=None,
+                     help="abort (with partial progress) past this many "
+                          "work units")
+    run.add_argument("--max-iterations", type=int, default=None,
+                     help="abort a fixed point past this many iterations")
+    run.add_argument("--retries", type=int, default=0,
+                     help="per-view retries; a repeatedly failing "
+                          "differential view degrades to scratch "
+                          "(default 0 = fail fast)")
+    run.add_argument("--retry-backoff", type=float, default=0.5,
+                     help="seconds before the first retry, doubled each "
+                          "further retry (default 0.5)")
 
     gvdl = subcommands.add_parser(
         "gvdl", help="only execute the --gvdl/--execute statements")
@@ -185,22 +206,54 @@ def _write_collection_csv(result: CollectionRunResult, path: str) -> None:
                     writer.writerow([view_result.view_name, vertex, value])
 
 
+def _build_resilience(args: argparse.Namespace):
+    """Budget / retry policy / checkpoint options from CLI flags."""
+    from repro.core.resilience import RetryPolicy, RunBudget
+
+    budget = None
+    if (args.max_wall_seconds is not None or args.max_work is not None
+            or args.max_iterations is not None):
+        budget = RunBudget(max_wall_seconds=args.max_wall_seconds,
+                           max_work=args.max_work,
+                           max_iterations=args.max_iterations)
+    retry_policy = None
+    if args.retries > 0:
+        retry_policy = RetryPolicy(max_retries=args.retries,
+                                   backoff_seconds=args.retry_backoff)
+    resume_from = args.checkpoint if args.resume else None
+    if args.resume and args.checkpoint is None:
+        raise GraphsurgeError("--resume requires --checkpoint FILE")
+    return budget, retry_policy, args.checkpoint, resume_from
+
+
 def _run(session: Graphsurge, args: argparse.Namespace) -> None:
     computation = build_computation(args.computation, args)
+    budget, retry_policy, checkpoint_path, resume_from = \
+        _build_resilience(args)
     result = session.run_analytics(
         computation, args.target, mode=ExecutionMode(args.mode),
-        batch_size=args.batch_size, keep_outputs=bool(args.out))
+        batch_size=args.batch_size, keep_outputs=bool(args.out),
+        checkpoint_path=checkpoint_path, resume_from=resume_from,
+        budget=budget, retry_policy=retry_policy)
     if isinstance(result, CollectionRunResult):
+        resumed = (f", resumed at view {result.resumed_views}"
+                   if result.resumed_views else "")
         print(f"{computation.name} on collection {args.target}: "
               f"{len(result.views)} views in "
               f"{result.total_wall_seconds:.2f}s "
               f"({result.total_work} work units, "
-              f"splits at {result.split_points})")
+              f"splits at {result.split_points}{resumed})")
         for view_result in result.views:
+            notes = ""
+            if view_result.degraded:
+                notes = "  [degraded to scratch after "
+                notes += f"{len(view_result.failures)} failure(s)]"
+            elif view_result.failures:
+                notes = f"  [{len(view_result.failures)} retried failure(s)]"
             print(f"  {view_result.view_name:>12} "
                   f"{view_result.strategy.value:>12} "
                   f"{view_result.wall_seconds:>8.3f}s "
-                  f"{view_result.work:>10} work")
+                  f"{view_result.work:>10} work{notes}")
         if args.out:
             _write_collection_csv(result, args.out)
             print(f"wrote {args.out}")
@@ -231,6 +284,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             pass
     except (GraphsurgeError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
+        partial = getattr(error, "partial", None)
+        if partial is not None:
+            print(f"partial progress: {len(partial.views)} view(s) "
+                  f"completed before the budget ran out"
+                  + (" (checkpointed)" if args.command == "run"
+                     and getattr(args, "checkpoint", None) else ""),
+                  file=sys.stderr)
         return 1
     return 0
 

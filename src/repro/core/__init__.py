@@ -9,6 +9,7 @@ stores.
 
 from repro.core.computation import GraphComputation
 from repro.core.executor import AnalyticsExecutor, ExecutionMode
+from repro.core.resilience import FaultPlan, RetryPolicy, RunBudget
 from repro.core.system import Graphsurge
 from repro.core.view_collection import (
     MaterializedCollection,
@@ -19,7 +20,10 @@ __all__ = [
     "GraphComputation",
     "AnalyticsExecutor",
     "ExecutionMode",
+    "FaultPlan",
     "Graphsurge",
     "MaterializedCollection",
+    "RetryPolicy",
+    "RunBudget",
     "ViewCollectionDefinition",
 ]

@@ -8,9 +8,54 @@ natural split points sit. ``Graphsurge.explain(name)`` prints the summary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.core.view_collection import MaterializedCollection
+
+
+@dataclass
+class CheckpointStatus:
+    """Resumability of a collection, read from a run checkpoint journal."""
+
+    path: str
+    completed_views: int
+    total_views: int
+    last_view_name: Optional[str]
+    truncated: bool
+
+    @property
+    def resumable(self) -> bool:
+        return 0 < self.completed_views < self.total_views
+
+    def render(self) -> str:
+        if self.completed_views >= self.total_views:
+            return (f"checkpoint: complete ({self.completed_views}/"
+                    f"{self.total_views} views) at {self.path}")
+        tail = " [torn tail dropped]" if self.truncated else ""
+        last = (f", last completed {self.last_view_name!r}"
+                if self.last_view_name else "")
+        return (f"checkpoint: resumable at view {self.completed_views}/"
+                f"{self.total_views}{last} ({self.path}){tail}")
+
+
+def checkpoint_status(checkpoint_path) -> Optional[CheckpointStatus]:
+    """Inspect a run checkpoint journal (``None`` if absent/unreadable)."""
+    from repro.core.resilience import load_checkpoint
+    from repro.errors import CheckpointError
+
+    try:
+        state = load_checkpoint(checkpoint_path)
+    except CheckpointError:
+        return None
+    if state is None:
+        return None
+    return CheckpointStatus(
+        path=state.path,
+        completed_views=state.completed_views,
+        total_views=int(state.header.get("num_views", 0)),
+        last_view_name=state.last_view_name,
+        truncated=state.truncated,
+    )
 
 
 @dataclass
@@ -27,6 +72,9 @@ class CollectionSummary:
     churn_ratios: List[float]
     #: Jaccard similarity |GV_{i-1} ∩ GV_i| / |GV_{i-1} ∪ GV_i|.
     jaccard: List[float]
+    #: Resumability info when a run checkpoint was inspected (see
+    #: :func:`checkpoint_status`); ``None`` when no journal was consulted.
+    checkpoint: Optional[CheckpointStatus] = None
 
     @property
     def mean_churn(self) -> float:
@@ -61,12 +109,18 @@ class CollectionSummary:
         else:
             lines.append("no high-churn views: diff-only execution should "
                          "dominate")
+        if self.checkpoint is not None:
+            lines.append(self.checkpoint.render())
         return "\n".join(lines)
 
 
-def summarize_collection(collection: MaterializedCollection
-                         ) -> CollectionSummary:
-    """Compute similarity statistics for a collection."""
+def summarize_collection(collection: MaterializedCollection,
+                         checkpoint_path=None) -> CollectionSummary:
+    """Compute similarity statistics for a collection.
+
+    With ``checkpoint_path``, the summary also reports whether a run
+    checkpoint exists for the collection and how far it got.
+    """
     churn: List[float] = []
     jaccard: List[float] = []
     previous = set()
@@ -87,4 +141,6 @@ def summarize_collection(collection: MaterializedCollection
         diff_sizes=list(collection.diff_sizes),
         churn_ratios=churn,
         jaccard=jaccard,
+        checkpoint=(checkpoint_status(checkpoint_path)
+                    if checkpoint_path is not None else None),
     )

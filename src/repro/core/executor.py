@@ -9,6 +9,13 @@ one of three policies:
   computations still run differentially *across their own iterations* (that
   is inherent to the engine), but nothing is shared between views.
 * ``ADAPTIVE`` — the splitting optimizer picks per batch of views.
+
+Long collection runs are made fault tolerant by the resilience layer
+(:mod:`repro.core.resilience`): pass ``checkpoint_path=`` to journal every
+completed view, ``resume_from=`` to restart an interrupted run at view *k*
+instead of view 0, ``budget=`` to bound wall time / work / fixed-point
+iterations, and ``retry_policy=`` to retry failing views and degrade a
+persistently failing differential view to a from-scratch run.
 """
 
 from __future__ import annotations
@@ -16,15 +23,25 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.computation import GraphComputation
+from repro.core.resilience import (
+    CheckpointWriter,
+    FaultPlan,
+    RetryPolicy,
+    RunBudget,
+    collection_fingerprint,
+    decode_diff,
+    encode_diff,
+    load_checkpoint,
+)
 from repro.core.splitting.optimizer import AdaptiveSplitter, SplitDecision
 from repro.core.view_collection import MaterializedCollection
 from repro.differential.dataflow import Dataflow
 from repro.differential.multiset import Diff
 from repro.differential.operators.io import CaptureOp
-from repro.errors import ComputationError
+from repro.errors import BudgetExceededError, CheckpointError, ComputationError
 from repro.graph.edge_stream import EdgeStream, edge_diff_to_input
 
 
@@ -54,6 +71,13 @@ class ViewRunResult:
     #: stream — its "difference" is its full output, not a delta against
     #: the previous view.
     output_diff: Optional[Diff] = field(default=None, repr=False)
+    #: How many execution attempts this view took (1 = first try).
+    attempts: int = 1
+    #: True when the view was planned differential but degraded to a
+    #: from-scratch run after repeated differential-mode failures.
+    degraded: bool = False
+    #: ``"ErrorType: message"`` for every failed attempt, in order.
+    failures: List[str] = field(default_factory=list)
 
     def vertex_map(self) -> Dict[Any, Any]:
         """Render the accumulated output as ``{vertex: value}``.
@@ -84,12 +108,20 @@ class CollectionRunResult:
     total_work: int
     total_parallel_time: int
     split_points: List[int]
+    #: How many leading views were restored from a checkpoint instead of
+    #: being executed in this call (0 for a non-resumed run).
+    resumed_views: int = 0
 
     def strategy_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
         for view in self.views:
             counts[view.strategy.value] = counts.get(view.strategy.value, 0) + 1
         return counts
+
+    def failed_views(self) -> List[ViewRunResult]:
+        """Views that needed retries or degraded to scratch."""
+        return [view for view in self.views
+                if view.failures or view.degraded]
 
 
 class AnalyticsExecutor:
@@ -102,9 +134,13 @@ class AnalyticsExecutor:
 
     def run_on_view(self, computation: GraphComputation,
                     edges: EdgeStream,
-                    keep_output: bool = True) -> ViewRunResult:
+                    keep_output: bool = True,
+                    view_name: str = "view",
+                    budget: Optional[RunBudget] = None,
+                    fault_plan: Optional[FaultPlan] = None) -> ViewRunResult:
         """Run a computation on one materialized view (paper §3.1.2)."""
-        dataflow, capture = self._fresh_dataflow(computation)
+        dataflow, capture = self._fresh_dataflow(computation, budget,
+                                                 fault_plan)
         started = time.perf_counter()
         before = dataflow.meter.snapshot()
         diff = edges.as_input_diff(directed=computation.directed)
@@ -113,7 +149,7 @@ class AnalyticsExecutor:
         spent = before.delta(after)
         output = capture.value_at_epoch(epoch)
         return ViewRunResult(
-            view_name="view",
+            view_name=view_name,
             strategy=SplitDecision.SCRATCH,
             wall_seconds=time.perf_counter() - started,
             work=spent.total_work,
@@ -132,63 +168,135 @@ class AnalyticsExecutor:
                           batch_size: int = 10,
                           keep_outputs: bool = False,
                           keep_output_diffs: bool = False,
-                          cost_metric: str = "wall") -> CollectionRunResult:
+                          cost_metric: str = "wall",
+                          checkpoint_path=None,
+                          resume_from=None,
+                          budget: Optional[RunBudget] = None,
+                          retry_policy: Optional[RetryPolicy] = None,
+                          fault_plan: Optional[FaultPlan] = None
+                          ) -> CollectionRunResult:
         """Execute the computation across every view of the collection.
 
         ``cost_metric`` selects what feeds the adaptive cost models:
         ``wall`` (seconds, as the paper) or ``work`` (deterministic record
         counts — useful for reproducible tests).
+
+        ``checkpoint_path`` journals every completed view; ``resume_from``
+        loads such a journal, restores the completed prefix (results,
+        splitter observations, split points), rebuilds dataflow state by
+        replaying the collection's cumulative difference up to the resume
+        index, and continues. When only ``resume_from`` is given, the run
+        keeps journaling to the same file.
         """
         if cost_metric not in ("wall", "work"):
             raise ComputationError(f"unknown cost metric {cost_metric!r}")
+        if budget is not None:
+            budget.start()
         splitter = AdaptiveSplitter(batch_size=batch_size)
         results: List[ViewRunResult] = []
         split_points: List[int] = []
         dataflow: Optional[Dataflow] = None
         capture: Optional[CaptureOp] = None
         total_started = time.perf_counter()
-        for index, view_name in enumerate(collection.view_names):
-            view_size = collection.view_sizes[index]
-            diff_size = collection.diff_sizes[index]
-            strategy = self._choose(mode, splitter, index, view_size,
-                                    diff_size, dataflow)
-            if strategy is SplitDecision.SCRATCH and index > 0:
-                split_points.append(index)
-            started = time.perf_counter()
-            if strategy is SplitDecision.SCRATCH or dataflow is None:
-                dataflow, capture = self._fresh_dataflow(computation)
-                feed = edge_diff_to_input(
-                    collection.full_view_edges(index),
-                    directed=computation.directed)
-            else:
-                feed = collection.input_diff_for_view(
-                    index, directed=computation.directed)
-            before = dataflow.meter.snapshot()
-            epoch = dataflow.step({"edges": feed})
-            after = dataflow.meter.snapshot()
-            spent = before.delta(after)
-            wall = time.perf_counter() - started
-            assert capture is not None
-            output_diff = capture.diff_at((epoch,))
-            result = ViewRunResult(
-                view_name=view_name,
-                strategy=strategy,
-                wall_seconds=wall,
-                work=spent.total_work,
-                parallel_time=spent.parallel_time,
-                view_size=view_size,
-                diff_size=diff_size,
-                output_diff_size=len(output_diff),
-                output=(capture.value_at_epoch(epoch)
-                        if keep_outputs else None),
-                output_diff=(output_diff if keep_output_diffs else None),
+
+        header = {
+            "computation": computation.name,
+            "collection": collection.name,
+            "mode": mode.value,
+            "cost_metric": cost_metric,
+            "batch_size": batch_size,
+            "keep_outputs": keep_outputs,
+            "keep_output_diffs": keep_output_diffs,
+            "num_views": collection.num_views,
+            "fingerprint": collection_fingerprint(collection),
+        }
+
+        writer: Optional[CheckpointWriter] = None
+        start_index = 0
+        state = None
+        if resume_from is not None:
+            if checkpoint_path is None:
+                checkpoint_path = resume_from
+            state = load_checkpoint(resume_from)
+        if state is not None:
+            self._check_resume_header(state.header, header, resume_from)
+            for record in state.views:
+                # Replaying decide() + observe() in original order rebuilds
+                # the splitter's models *and* batch state exactly.
+                splitter.decide(record["index"], record["view_size"],
+                                record["diff_size"])
+                observation = record["observation"]
+                if observation["kind"] == "scratch":
+                    splitter.observe_scratch(observation["size"],
+                                             observation["cost"])
+                else:
+                    splitter.observe_differential(observation["size"],
+                                                  observation["cost"])
+                results.append(self._result_from_record(record))
+                if record["split"]:
+                    split_points.append(record["index"])
+            start_index = len(results)
+            if 0 < start_index < collection.num_views:
+                # Rebuild dataflow state: the cumulative diff of all views
+                # up to the resume index, collapsed into one epoch, leaves
+                # the engine in the same accumulated state the interrupted
+                # run had after view ``start_index - 1``.
+                dataflow, capture = self._replay_dataflow(
+                    computation, collection, start_index - 1, budget,
+                    fault_plan)
+
+        try:
+            if checkpoint_path is not None:
+                if state is not None and str(state.path) == str(checkpoint_path):
+                    writer = CheckpointWriter.resume(checkpoint_path, state,
+                                                     fault_plan)
+                else:
+                    writer = CheckpointWriter.fresh(checkpoint_path, header,
+                                                    fault_plan)
+            for index in range(start_index, collection.num_views):
+                view_size = collection.view_sizes[index]
+                diff_size = collection.diff_sizes[index]
+                planned = self._choose(mode, splitter, index, view_size,
+                                       diff_size, dataflow)
+                result, dataflow, capture = self._run_view_with_retries(
+                    computation, collection, index, planned, dataflow,
+                    capture, keep_outputs=keep_outputs,
+                    keep_output_diffs=keep_output_diffs, budget=budget,
+                    fault_plan=fault_plan, retry_policy=retry_policy)
+                executed = result.strategy
+                split = executed is SplitDecision.SCRATCH and index > 0
+                if split:
+                    split_points.append(index)
+                results.append(result)
+                cost = (result.wall_seconds if cost_metric == "wall"
+                        else float(result.work))
+                if executed is SplitDecision.SCRATCH:
+                    observation = {"kind": "scratch", "size": view_size,
+                                   "cost": cost}
+                    splitter.observe_scratch(view_size, cost)
+                else:
+                    observation = {"kind": "differential", "size": diff_size,
+                                   "cost": cost}
+                    splitter.observe_differential(diff_size, cost)
+                if writer is not None:
+                    writer.append_view(self._view_record(
+                        index, result, split, observation))
+        except BudgetExceededError as error:
+            error.partial = CollectionRunResult(
+                computation=computation.name,
+                collection=collection.name,
+                mode=mode,
+                views=results,
+                total_wall_seconds=time.perf_counter() - total_started,
+                total_work=sum(r.work for r in results),
+                total_parallel_time=sum(r.parallel_time for r in results),
+                split_points=split_points,
+                resumed_views=start_index,
             )
-            results.append(result)
-            cost = wall if cost_metric == "wall" else float(spent.total_work)
-            if strategy is SplitDecision.SCRATCH:
-                splitter.observe_scratch(view_size, cost)
-            else:
-                splitter.observe_differential(diff_size, cost)
+            raise
+        finally:
+            if writer is not None:
+                writer.close()
         return CollectionRunResult(
             computation=computation.name,
             collection=collection.name,
@@ -198,7 +306,182 @@ class AnalyticsExecutor:
             total_work=sum(r.work for r in results),
             total_parallel_time=sum(r.parallel_time for r in results),
             split_points=split_points,
+            resumed_views=start_index,
         )
+
+    # -- per-view execution with recovery ---------------------------------------
+
+    def _run_view_with_retries(
+            self, computation: GraphComputation,
+            collection: MaterializedCollection, index: int,
+            planned: SplitDecision, dataflow: Optional[Dataflow],
+            capture: Optional[CaptureOp], *, keep_outputs: bool,
+            keep_output_diffs: bool, budget: Optional[RunBudget],
+            fault_plan: Optional[FaultPlan],
+            retry_policy: Optional[RetryPolicy]
+    ) -> Tuple[ViewRunResult, Dataflow, CaptureOp]:
+        """Run one view; on failure retry, then degrade differential→scratch.
+
+        Every retry rebuilds a fresh dataflow (the failed one may hold
+        half-applied state): a differential retry replays the cumulative
+        diff up to the previous view first, a scratch attempt feeds the
+        full view. ``BudgetExceededError`` is never retried.
+        """
+        failures: List[str] = []
+        attempts = 0
+        phases = [planned]
+        if planned is SplitDecision.DIFFERENTIAL and index > 0:
+            phases.append(SplitDecision.SCRATCH)
+        attempts_per_phase = 1 + (retry_policy.max_retries
+                                  if retry_policy is not None else 0)
+        last_error: Optional[BaseException] = None
+        for attempt_strategy in phases:
+            for _ in range(attempts_per_phase):
+                if attempts > 0:
+                    assert retry_policy is not None
+                    retry_policy.pause(attempts)
+                attempts += 1
+                try:
+                    result, dataflow, capture = self._attempt_view(
+                        computation, collection, index, attempt_strategy,
+                        dataflow, capture, keep_outputs=keep_outputs,
+                        keep_output_diffs=keep_output_diffs, budget=budget,
+                        fault_plan=fault_plan)
+                    result.attempts = attempts
+                    result.failures = failures
+                    result.degraded = attempt_strategy is not planned
+                    return result, dataflow, capture
+                except BudgetExceededError:
+                    raise
+                except Exception as error:
+                    failures.append(f"{type(error).__name__}: {error}")
+                    last_error = error
+                    # The failed dataflow may be mid-epoch: poison it.
+                    dataflow = capture = None
+                    if retry_policy is None:
+                        raise
+        assert last_error is not None
+        raise last_error
+
+    def _attempt_view(self, computation: GraphComputation,
+                      collection: MaterializedCollection, index: int,
+                      strategy: SplitDecision, dataflow: Optional[Dataflow],
+                      capture: Optional[CaptureOp], *, keep_outputs: bool,
+                      keep_output_diffs: bool, budget: Optional[RunBudget],
+                      fault_plan: Optional[FaultPlan]
+                      ) -> Tuple[ViewRunResult, Dataflow, CaptureOp]:
+        started = time.perf_counter()
+        if strategy is SplitDecision.DIFFERENTIAL and dataflow is None:
+            # Rebuilt differential attempt (retry or resume continuation).
+            dataflow, capture = self._replay_dataflow(
+                computation, collection, index - 1, budget, fault_plan)
+        if strategy is SplitDecision.SCRATCH or dataflow is None:
+            dataflow, capture = self._fresh_dataflow(computation, budget,
+                                                     fault_plan)
+            feed = edge_diff_to_input(
+                collection.full_view_edges(index),
+                directed=computation.directed)
+        else:
+            feed = collection.input_diff_for_view(
+                index, directed=computation.directed)
+        before = dataflow.meter.snapshot()
+        epoch = dataflow.step({"edges": feed})
+        after = dataflow.meter.snapshot()
+        spent = before.delta(after)
+        assert capture is not None
+        output_diff = capture.diff_at((epoch,))
+        result = ViewRunResult(
+            view_name=collection.view_names[index],
+            strategy=strategy,
+            wall_seconds=time.perf_counter() - started,
+            work=spent.total_work,
+            parallel_time=spent.parallel_time,
+            view_size=collection.view_sizes[index],
+            diff_size=collection.diff_sizes[index],
+            output_diff_size=len(output_diff),
+            output=(capture.value_at_epoch(epoch)
+                    if keep_outputs else None),
+            output_diff=(output_diff if keep_output_diffs else None),
+        )
+        return result, dataflow, capture
+
+    def _replay_dataflow(self, computation: GraphComputation,
+                         collection: MaterializedCollection,
+                         upto_index: int, budget: Optional[RunBudget],
+                         fault_plan: Optional[FaultPlan]
+                         ) -> Tuple[Dataflow, CaptureOp]:
+        """Fresh dataflow advanced to the accumulated state of a view.
+
+        Feeds the cumulative edge difference of views ``0..upto_index``
+        collapsed into epoch 0. Differential semantics guarantee the
+        accumulated collections (and hence every later view's outputs)
+        match a run that fed the views one epoch at a time.
+        """
+        dataflow, capture = self._fresh_dataflow(computation, budget,
+                                                 fault_plan)
+        replay = edge_diff_to_input(
+            collection.full_view_edges(upto_index),
+            directed=computation.directed)
+        dataflow.step({"edges": replay})
+        return dataflow, capture
+
+    # -- checkpoint record (de)serialization -------------------------------------
+
+    @staticmethod
+    def _view_record(index: int, result: ViewRunResult, split: bool,
+                     observation: dict) -> dict:
+        return {
+            "index": index,
+            "view_name": result.view_name,
+            "strategy": result.strategy.value,
+            "wall_seconds": result.wall_seconds,
+            "work": result.work,
+            "parallel_time": result.parallel_time,
+            "view_size": result.view_size,
+            "diff_size": result.diff_size,
+            "output_diff_size": result.output_diff_size,
+            "attempts": result.attempts,
+            "degraded": result.degraded,
+            "failures": list(result.failures),
+            "split": split,
+            "observation": observation,
+            "output": encode_diff(result.output),
+            "output_diff": encode_diff(result.output_diff),
+        }
+
+    @staticmethod
+    def _result_from_record(record: dict) -> ViewRunResult:
+        return ViewRunResult(
+            view_name=record["view_name"],
+            strategy=SplitDecision(record["strategy"]),
+            wall_seconds=record["wall_seconds"],
+            work=record["work"],
+            parallel_time=record["parallel_time"],
+            view_size=record["view_size"],
+            diff_size=record["diff_size"],
+            output_diff_size=record["output_diff_size"],
+            output=decode_diff(record["output"]),
+            output_diff=decode_diff(record["output_diff"]),
+            attempts=record.get("attempts", 1),
+            degraded=record.get("degraded", False),
+            failures=list(record.get("failures", ())),
+        )
+
+    @staticmethod
+    def _check_resume_header(stored: dict, expected: dict,
+                             path) -> None:
+        for key in ("fingerprint", "computation", "mode", "cost_metric",
+                    "batch_size", "num_views"):
+            if stored.get(key) != expected[key]:
+                raise CheckpointError(
+                    f"checkpoint {path} does not match this run: "
+                    f"{key} is {stored.get(key)!r}, run has "
+                    f"{expected[key]!r}")
+        for key in ("keep_outputs", "keep_output_diffs"):
+            if expected[key] and not stored.get(key):
+                raise CheckpointError(
+                    f"checkpoint {path} was written without {key}; cannot "
+                    f"resume a run that requests it")
 
     # -- internals -------------------------------------------------------------------
 
@@ -214,8 +497,11 @@ class AnalyticsExecutor:
             return SplitDecision.SCRATCH
         return splitter.decide(index, view_size, diff_size)
 
-    def _fresh_dataflow(self, computation: GraphComputation):
-        dataflow = Dataflow(workers=self.workers)
+    def _fresh_dataflow(self, computation: GraphComputation,
+                        budget: Optional[RunBudget] = None,
+                        fault_plan: Optional[FaultPlan] = None):
+        dataflow = Dataflow(workers=self.workers, budget=budget,
+                            fault_plan=fault_plan)
         edges = dataflow.new_input("edges")
         result = computation.build(dataflow, edges)
         if result.scope is not dataflow.root:

@@ -4,25 +4,61 @@ The paper's Storage Manager persists views and collections so analytics can
 run in later sessions without re-materializing. We serialize a
 :class:`MaterializedCollection` to a compact JSON document: edge tuples are
 interned into a table and difference sets reference them by index.
+
+Format v2 (current) hardens the v1 format for production use:
+
+* **Atomic writes** — the document is written to a temp file in the target
+  directory and moved into place with ``os.replace``, so a crash mid-save
+  never leaves a half-written collection behind.
+* **Checksummed payload** — the envelope embeds a sha256 of the canonical
+  payload JSON; :func:`load_collection` verifies it and rejects silently
+  corrupted files.
+* **Optional gzip** — pass ``compress=True`` (or a ``.gz`` path) to store
+  the envelope gzipped; loading auto-detects the gzip magic.
+
+v1 files (plain document, no checksum) still load. Every malformed-document
+shape — missing keys, non-list diffs, out-of-range edge indexes — surfaces
+as :class:`StoreError` naming the offending path.
 """
 
 from __future__ import annotations
 
+import gzip
+import hashlib
 import json
+import os
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from repro.core.view_collection import MaterializedCollection
 from repro.errors import StoreError
 
 PathLike = Union[str, Path]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def _canonical_payload(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def _payload_digest(payload: dict) -> str:
+    return hashlib.sha256(_canonical_payload(payload)).hexdigest()
 
 
 def save_collection(collection: MaterializedCollection,
-                    path: PathLike) -> None:
-    """Write a collection's difference stream and metadata to ``path``."""
+                    path: PathLike,
+                    compress: Optional[bool] = None) -> None:
+    """Write a collection's difference stream and metadata to ``path``.
+
+    ``compress`` gzips the document; when ``None`` it is inferred from a
+    ``.gz`` suffix. The write is atomic (temp file + ``os.replace``).
+    """
+    path = Path(path)
+    if compress is None:
+        compress = path.suffix == ".gz"
     edge_index: Dict[tuple, int] = {}
     edge_table: List[list] = []
     diffs_encoded = []
@@ -36,8 +72,7 @@ def save_collection(collection: MaterializedCollection,
                 edge_table.append(list(edge))
             encoded.append([index, mult])
         diffs_encoded.append(encoded)
-    document = {
-        "format": _FORMAT_VERSION,
+    payload = {
         "name": collection.name,
         "source": collection.source,
         "view_names": collection.view_names,
@@ -45,34 +80,84 @@ def save_collection(collection: MaterializedCollection,
         "diffs": diffs_encoded,
         "creation_seconds": collection.creation_seconds,
     }
-    Path(path).write_text(json.dumps(document))
+    envelope = {
+        "format": _FORMAT_VERSION,
+        "sha256": _payload_digest(payload),
+        "payload": payload,
+    }
+    data = json.dumps(envelope).encode("utf-8")
+    if compress:
+        data = gzip.compress(data)
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed replace
+            tmp.unlink()
 
 
 def load_collection(path: PathLike) -> MaterializedCollection:
-    """Read a collection previously written by :func:`save_collection`."""
+    """Read a collection previously written by :func:`save_collection`.
+
+    Reads both v2 (checksummed envelope, optionally gzipped) and legacy v1
+    documents. Any unreadable, corrupted, or structurally malformed file
+    raises :class:`StoreError` with the path in the message.
+    """
     try:
-        document = json.loads(Path(path).read_text())
-    except (OSError, json.JSONDecodeError) as error:
+        raw = Path(path).read_bytes()
+        if raw[:2] == _GZIP_MAGIC:
+            raw = gzip.decompress(raw)
+        document = json.loads(raw.decode("utf-8"))
+    except (OSError, EOFError, ValueError) as error:
         raise StoreError(f"cannot read collection from {path}: {error}") \
             from None
-    if document.get("format") != _FORMAT_VERSION:
+    if not isinstance(document, dict):
         raise StoreError(
-            f"unsupported collection format {document.get('format')!r} "
-            f"in {path}")
-    edge_table = [tuple(edge) for edge in document["edges"]]
+            f"malformed collection document in {path}: expected a JSON "
+            f"object, got {type(document).__name__}")
+    version = document.get("format")
+    if version == _FORMAT_VERSION:
+        payload = document.get("payload")
+        if not isinstance(payload, dict):
+            raise StoreError(
+                f"malformed collection document in {path}: v2 envelope "
+                f"has no payload object")
+        expected = document.get("sha256")
+        actual = _payload_digest(payload)
+        if expected != actual:
+            raise StoreError(
+                f"collection {path} failed checksum verification "
+                f"(stored {expected!r}, computed {actual!r}): the file is "
+                f"corrupted")
+    elif version == 1:
+        payload = document
+    else:
+        raise StoreError(
+            f"unsupported collection format {version!r} in {path}")
+    try:
+        return _decode_payload(payload)
+    except (KeyError, TypeError, ValueError, IndexError) as error:
+        raise StoreError(
+            f"malformed collection document in {path}: "
+            f"{type(error).__name__}: {error}") from None
+
+
+def _decode_payload(payload: dict) -> MaterializedCollection:
+    edge_table = [tuple(edge) for edge in payload["edges"]]
     diffs = []
-    for encoded in document["diffs"]:
+    for encoded in payload["diffs"]:
         diffs.append({edge_table[index]: mult for index, mult in encoded})
     from repro.core.diff_stream import diff_sizes, view_sizes_from_diffs
 
     return MaterializedCollection(
-        name=document["name"],
-        source=document["source"],
-        view_names=list(document["view_names"]),
+        name=payload["name"],
+        source=payload["source"],
+        view_names=list(payload["view_names"]),
         diffs=diffs,
         view_sizes=view_sizes_from_diffs(diffs),
         diff_sizes=diff_sizes(diffs),
-        creation_seconds=float(document.get("creation_seconds", 0.0)),
+        creation_seconds=float(payload.get("creation_seconds", 0.0)),
         ordering=None,
         ebm=None,
     )

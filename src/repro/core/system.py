@@ -130,12 +130,18 @@ class Graphsurge:
         view = compute_aggregate_view(base, statement)
         self.views.add_view(statement.name, view)
 
-    def explain(self, name: str) -> str:
-        """Summarize a materialized collection (similarity, split hints)."""
+    def explain(self, name: str, checkpoint_path=None) -> str:
+        """Summarize a materialized collection (similarity, split hints).
+
+        With ``checkpoint_path``, the summary also reports whether a run
+        checkpoint exists for the collection — how many views completed
+        and where a resumed run would pick up.
+        """
         from repro.core.diagnostics import summarize_collection
 
         collection = self.views.get_collection(name)
-        return summarize_collection(collection).render()
+        return summarize_collection(
+            collection, checkpoint_path=checkpoint_path).render()
 
     # -- persistence ---------------------------------------------------------------
 
@@ -190,16 +196,28 @@ class Graphsurge:
                       mode: ExecutionMode = ExecutionMode.ADAPTIVE,
                       batch_size: int = 10,
                       keep_outputs: bool = False,
-                      cost_metric: str = "wall"
+                      cost_metric: str = "wall",
+                      checkpoint_path=None,
+                      resume_from=None,
+                      budget=None,
+                      retry_policy=None
                       ) -> Union[ViewRunResult, CollectionRunResult]:
-        """Run a computation on a view, base graph, or view collection."""
+        """Run a computation on a view, base graph, or view collection.
+
+        The resilience options (``checkpoint_path``, ``resume_from``,
+        ``budget``, ``retry_policy`` — see :mod:`repro.core.resilience`)
+        apply to collection runs; ``budget`` also guards single-view runs.
+        """
         if self.views.has_collection(target):
             collection: MaterializedCollection = \
                 self.views.get_collection(target)
             return self.executor.run_on_collection(
                 computation, collection, mode=mode, batch_size=batch_size,
-                keep_outputs=keep_outputs, cost_metric=cost_metric)
+                keep_outputs=keep_outputs, cost_metric=cost_metric,
+                checkpoint_path=checkpoint_path, resume_from=resume_from,
+                budget=budget, retry_policy=retry_policy)
         graph = self.resolve(target)
         edges = EdgeStream.from_graph(graph, weight=self.weight_property)
         return self.executor.run_on_view(computation, edges,
-                                         keep_output=True)
+                                         keep_output=True,
+                                         view_name=target, budget=budget)

@@ -64,8 +64,18 @@ class Scope:
 class Dataflow:
     """An executable differential dataflow."""
 
-    def __init__(self, workers: int = 1, meter: Optional[WorkMeter] = None):
-        self.meter = meter if meter is not None else WorkMeter(workers)
+    def __init__(self, workers: int = 1, meter: Optional[WorkMeter] = None,
+                 budget=None, fault_plan=None):
+        self.meter = (meter if meter is not None
+                      else WorkMeter(workers, fault_plan=fault_plan))
+        #: Optional :class:`repro.core.resilience.RunBudget`; shared across
+        #: dataflow restarts by the executor, so work charged here
+        #: accumulates over a whole collection run.
+        self.budget = budget
+        #: Optional :class:`repro.core.resilience.FaultPlan` ("epoch" site
+        #: fires at the top of every :meth:`step`).
+        self.fault_plan = fault_plan
+        self._budget_charged = 0
         self.root = Scope(self, None)
         self._ops_by_scope: Dict[Scope, List[Operator]] = {self.root: []}
         self._op_count = 0
@@ -137,6 +147,12 @@ class Dataflow:
         quiescence: every operator's scheduled work for this epoch (at any
         loop depth) is drained before returning.
         """
+        if self.fault_plan is not None:
+            # Epoch boundary: fires before any state mutates, so the fault
+            # models a crash *between* views.
+            self.fault_plan.fire("epoch", context=f"epoch {self.epoch + 1}")
+        if self.budget is not None:
+            self.budget.start()
         self._frozen = True
         self.epoch += 1
         time = (self.epoch,)
@@ -158,10 +174,25 @@ class Dataflow:
             for op in root_ops:
                 op.flush(time)
             self.meter.end_step()
+            self.enforce_budget(f"epoch {self.epoch}")
             if not self._has_pending(subtree, time):
                 return self.epoch
         raise DataflowError(
             f"dataflow failed to quiesce at epoch {self.epoch}")
+
+    def enforce_budget(self, site: str) -> None:
+        """Charge newly metered work to the budget and enforce its limits.
+
+        Charges the delta since the previous call so the budget stays
+        correct across nested callers (the epoch driver and every iterate
+        scope call this). Raises ``BudgetExceededError`` on breach.
+        """
+        if self.budget is None:
+            return
+        total = self.meter.total_work
+        delta = total - self._budget_charged
+        self._budget_charged = total
+        self.budget.charge(delta, site=site)
 
     @staticmethod
     def _has_pending(ops: Iterable[Operator], prefix) -> bool:

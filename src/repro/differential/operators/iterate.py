@@ -233,6 +233,10 @@ class IterateOp(Operator):
                 if op.scope is self.child_scope:
                     op.flush(t)
             meter.end_step()
+            # Run guards: a non-converging loop must raise a structured
+            # error (with the iteration reached) instead of spinning to the
+            # safety cap or hanging against a wall-clock limit.
+            self.dataflow.enforce_budget(f"iterate {self.name} @ {t}")
             # Find the next iteration with scheduled work under this prefix.
             nxt: Optional[int] = None
             for op in subtree:
@@ -254,6 +258,9 @@ class IterateOp(Operator):
                     )
                 continue
             passes_at_same = 0
+            budget = self.dataflow.budget
+            if budget is not None:
+                budget.check_iterations(nxt, site=f"iterate {self.name}")
             if nxt > limit:
                 if self.max_iters is None:
                     raise DataflowError(

@@ -56,3 +56,46 @@ class OrderingError(GraphsurgeError):
 
 class StoreError(GraphsurgeError):
     """Persistence (view store / graph store) failed."""
+
+
+class CheckpointError(StoreError):
+    """A run checkpoint could not be loaded or does not match the run."""
+
+
+class InjectedFault(GraphsurgeError):
+    """A deterministic test fault fired (see :mod:`repro.core.resilience`).
+
+    Carries the fault site and the invocation index at which it fired so
+    recovery tests can assert exactly which failure they exercised.
+    """
+
+    def __init__(self, site: str, invocation: int, context: str = ""):
+        self.site = site
+        self.invocation = invocation
+        self.context = context
+        detail = f" ({context})" if context else ""
+        super().__init__(
+            f"injected fault at site {site!r}, invocation "
+            f"{invocation}{detail}")
+
+
+class BudgetExceededError(GraphsurgeError):
+    """A :class:`repro.core.resilience.RunBudget` limit was crossed.
+
+    Structured: ``limit`` names the exhausted resource (``wall_seconds``,
+    ``work``, or ``iterations``), ``spent``/``allowed`` quantify it, and
+    ``site`` says where enforcement tripped. When the analytics executor
+    re-raises, ``partial`` holds a ``CollectionRunResult`` of the views
+    completed before the budget ran out, so callers keep their progress.
+    """
+
+    def __init__(self, limit: str, spent, allowed, site: str = ""):
+        self.limit = limit
+        self.spent = spent
+        self.allowed = allowed
+        self.site = site
+        self.partial = None
+        where = f" at {site}" if site else ""
+        super().__init__(
+            f"run budget exceeded{where}: {limit} {spent} > "
+            f"allowed {allowed}")

@@ -55,10 +55,15 @@ class WorkMeter:
         meter.end_step()
     """
 
-    def __init__(self, workers: int = 1):
+    def __init__(self, workers: int = 1, fault_plan=None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        #: Optional :class:`repro.core.resilience.FaultPlan`; the
+        #: ``operator`` site fires once per :meth:`record` call, i.e. in
+        #: the middle of an operator's apply — the nastiest crash point,
+        #: since it leaves the dataflow's traces half-updated.
+        self.fault_plan = fault_plan
         self.total_work = 0
         self.parallel_time = 0
         self.supersteps = 0
@@ -72,6 +77,11 @@ class WorkMeter:
         """Attribute ``units`` of work for ``key``'s worker."""
         if units <= 0:
             return
+        if self.fault_plan is not None:
+            spec = self.fault_plan.fire("operator", context=repr(key))
+            if spec is not None and spec.kind == "corrupt":
+                # Cost-model corruption: the work is wildly over-reported.
+                units *= 1000
         self.total_work += units
         worker = shard_for(key, self.workers)
         if self._frames:
