@@ -1,0 +1,279 @@
+"""Hot-path micro/meso benchmark suite and regression gate.
+
+Measures the differential engine's hot paths at three granularities:
+
+* **join-heavy** — multi-epoch random churn through plain and arranged
+  joins (operator-level throughput);
+* **iterate-heavy** — a long-diameter label propagation, where per-key
+  trace accumulation dominates (the `KeyTrace` cache's home turf);
+* **collection-run** — the end-to-end Graphsurge workload: an iterative
+  computation executed differentially across a whole view collection.
+
+Each scenario reports wall seconds, a calibration-normalized *score*
+(seconds divided by a fixed pure-Python calibration loop, so numbers are
+comparable across machines of different speeds), and the engine's
+deterministic cost counters (``work``, ``parallel_time``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py                # print
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --emit BENCH_engine.json
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --check BENCH_engine.json
+
+``--check`` is the regression gate used by the CI ``perf-smoke`` job: it
+exits non-zero when any scenario's score or work regresses past the
+tolerance (default 25%) against the committed baseline.
+
+This file is a plain script, not a pytest-benchmark module: the gate must
+run without pytest and produce one comparable JSON payload per run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.algorithms import Bfs, Wcc
+from repro.bench.reporting import (
+    BENCH_SCHEMA,
+    bench_to_json,
+    compare_benchmarks,
+    load_bench_json,
+)
+from repro.core.executor import AnalyticsExecutor, ExecutionMode
+from repro.core.view_collection import collection_from_diffs
+from repro.differential import Dataflow
+
+
+def _calibrate() -> float:
+    """Seconds for a fixed pure-Python workload (machine-speed yardstick).
+
+    Dict churn and tuple hashing approximate the engine's instruction mix
+    better than arithmetic loops. Best-of-three guards against scheduler
+    noise.
+    """
+    def loop() -> float:
+        started = time.perf_counter()
+        table: Dict[Tuple[int, int], int] = {}
+        for i in range(120_000):
+            key = (i % 997, i % 31)
+            table[key] = table.get(key, 0) + 1
+            if i % 7 == 0:
+                table.pop((i % 89, i % 31), None)
+        return time.perf_counter() - started
+
+    return min(loop() for _ in range(3))
+
+
+# -- scenarios ----------------------------------------------------------------
+
+
+def _random_keyed_diff(n: int, keys: int, rng: random.Random) -> Dict:
+    return {(rng.randrange(keys), rng.randrange(1_000)): 1
+            for _ in range(n)}
+
+
+def scenario_join_heavy(scale: float) -> Dict[str, int]:
+    """Multi-epoch churn through one plain two-sided join."""
+    rng = random.Random(7)
+    df = Dataflow()
+    a = df.new_input("a")
+    b = df.new_input("b")
+    df.capture(a.join(b), "out")
+    n = int(4_000 * scale)
+    for _epoch in range(6):
+        df.step({"a": _random_keyed_diff(n, 900, rng),
+                 "b": _random_keyed_diff(n, 900, rng)})
+    return {"work": df.meter.total_work,
+            "parallel_time": df.meter.parallel_time}
+
+
+def scenario_join_arranged_shared(scale: float) -> Dict[str, int]:
+    """One arrangement of a churning relation read by three joins."""
+    rng = random.Random(11)
+    df = Dataflow()
+    base = df.new_input("base")
+    arranged = base.arrange_by_key("base.arr")
+    for index in range(3):
+        probe = df.new_input(f"probe{index}")
+        df.capture(probe.join_arranged(arranged), f"out{index}")
+    n = int(3_000 * scale)
+    for _epoch in range(5):
+        feed = {"base": _random_keyed_diff(n, 700, rng)}
+        for index in range(3):
+            feed[f"probe{index}"] = _random_keyed_diff(n // 3, 700, rng)
+        df.step(feed)
+    return {"work": df.meter.total_work,
+            "parallel_time": df.meter.parallel_time}
+
+
+def scenario_iterate_heavy(scale: float) -> Dict[str, int]:
+    """Label propagation over a long path: many iterations, deep traces.
+
+    A path graph has diameter ``n - 1``, so the fixed point takes ~n
+    iterations and every vertex's trace is touched across many of them —
+    the accumulate-dominated regime.
+    """
+    n = int(90 * scale)
+    df = Dataflow()
+    edges = df.new_input("edges")
+    labels = df.new_input("labels")
+
+    def body(inner, scope):
+        e = scope.enter(edges)
+        seed = scope.enter(labels)
+        return inner.join(
+            e, lambda u, lbl, v: (v, lbl)).concat(seed).min_by_key()
+
+    df.capture(labels.iterate(body), "out")
+    path = {}
+    for u in range(n - 1):
+        path[(u, u + 1)] = 1
+        path[(u + 1, u)] = 1
+    df.step({"edges": path, "labels": {(v, v): 1 for v in range(n)}})
+    # A handful of incremental epochs: cut and re-link the path near the
+    # far end, so corrections cascade through long iteration suffixes.
+    for epoch in range(1, 4):
+        cut = n - 12 * epoch
+        df.step({"edges": {(cut, cut + 1): -1, (cut + 1, cut): -1}})
+        df.step({"edges": {(cut, cut + 1): 1, (cut + 1, cut): 1}})
+    return {"work": df.meter.total_work,
+            "parallel_time": df.meter.parallel_time}
+
+
+def _path_cut_collection(num_nodes: int, num_views: int, seed: int):
+    """A path graph whose views cut (and later restore) deep chain edges.
+
+    Cutting a path edge relabels the entire downstream suffix, so every
+    view forces corrections across long iteration ranges — the
+    iterate-heavy collection-run regime the trace cache targets.
+    """
+    rng = random.Random(seed)
+    base: Dict[Tuple[int, int, int, int], int] = {}
+    for u in range(num_nodes - 1):
+        base[(u, u, u + 1, 1)] = 1
+    diffs = [dict(base)]
+    cut = None
+    for _index in range(1, num_views):
+        diff: Dict[Tuple[int, int, int, int], int] = {}
+        if cut is not None:
+            diff[cut] = diff.get(cut, 0) + 1
+        position = num_nodes // 2 + rng.randrange(num_nodes // 2 - 2)
+        cut = (position, position, position + 1, 1)
+        diff[cut] = diff.get(cut, 0) - 1
+        # Re-cutting the restored position nets out to no change.
+        diffs.append({edge: mult for edge, mult in diff.items() if mult})
+    return collection_from_diffs(f"hotpath-pathcut-{num_views}", diffs)
+
+
+def scenario_collection_run(scale: float) -> Dict[str, int]:
+    """The headline workload: iterative WCC differentially across a
+    collection of deep-cut path views."""
+    collection = _path_cut_collection(int(100 * scale), 10, seed=3)
+    executor = AnalyticsExecutor()
+    result = executor.run_on_collection(
+        Wcc(), collection, mode=ExecutionMode.DIFF_ONLY,
+        cost_metric="work")
+    return {"work": result.total_work,
+            "parallel_time": result.total_parallel_time}
+
+
+def scenario_collection_bfs(scale: float) -> Dict[str, int]:
+    """BFS across the same deep-cut collection (join + min reduce mix)."""
+    collection = _path_cut_collection(int(100 * scale), 6, seed=5)
+    executor = AnalyticsExecutor()
+    result = executor.run_on_collection(
+        Bfs(source=0), collection, mode=ExecutionMode.DIFF_ONLY,
+        cost_metric="work")
+    return {"work": result.total_work,
+            "parallel_time": result.total_parallel_time}
+
+
+SCENARIOS: Dict[str, Callable[[float], Dict[str, int]]] = {
+    "join_heavy": scenario_join_heavy,
+    "join_arranged_shared": scenario_join_arranged_shared,
+    "iterate_heavy": scenario_iterate_heavy,
+    "collection_run_wcc": scenario_collection_run,
+    "collection_run_bfs": scenario_collection_bfs,
+}
+
+
+def run_suite(scale: float = 1.0) -> Dict[str, object]:
+    """Run every scenario once; return the baseline-comparable payload."""
+    calibration = _calibrate()
+    scenarios: Dict[str, Dict[str, float]] = {}
+    for name, scenario in SCENARIOS.items():
+        started = time.perf_counter()
+        counters = scenario(scale)
+        wall = time.perf_counter() - started
+        scenarios[name] = {
+            "wall_seconds": round(wall, 4),
+            "score": round(wall / calibration, 2),
+            "work": counters["work"],
+            "parallel_time": counters["parallel_time"],
+        }
+    return {
+        "suite": "hotpath",
+        "schema": BENCH_SCHEMA,
+        "scale": scale,
+        "calibration_seconds": round(calibration, 4),
+        "scenarios": scenarios,
+    }
+
+
+def _render(payload: Dict[str, object]) -> str:
+    lines = [f"hotpath suite (scale {payload['scale']}, calibration "
+             f"{payload['calibration_seconds']}s)"]
+    header = f"{'scenario':<24} {'wall(s)':>9} {'score':>8} " \
+             f"{'work':>12} {'ptime':>12}"
+    lines.append(header)
+    for name, row in payload["scenarios"].items():
+        lines.append(
+            f"{name:<24} {row['wall_seconds']:>9.3f} {row['score']:>8.2f} "
+            f"{row['work']:>12} {row['parallel_time']:>12}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload size multiplier (default 1.0; the "
+                             "committed baseline is recorded at 1.0)")
+    parser.add_argument("--emit", metavar="PATH",
+                        help="write this run as a JSON baseline")
+    parser.add_argument("--check", metavar="PATH",
+                        help="compare against a JSON baseline; exit 1 on "
+                             "regression")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression for --check "
+                             "(default 0.25)")
+    args = parser.parse_args(argv)
+
+    payload = run_suite(scale=args.scale)
+    print(_render(payload))
+
+    if args.emit:
+        bench_to_json(payload, args.emit)
+        print(f"\nbaseline written to {args.emit}")
+    if args.check:
+        baseline = load_bench_json(args.check)
+        if baseline.get("scale") != args.scale:
+            print(f"\nWARNING: baseline recorded at scale "
+                  f"{baseline.get('scale')}, this run at {args.scale}; "
+                  f"work comparisons are not meaningful", file=sys.stderr)
+        problems = compare_benchmarks(payload, baseline,
+                                      tolerance=args.tolerance)
+        if problems:
+            print("\nREGRESSIONS vs " + str(args.check))
+            for problem in problems:
+                print("  " + problem)
+            return 1
+        print(f"\nOK: within {args.tolerance:.0%} of {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

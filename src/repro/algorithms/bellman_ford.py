@@ -38,10 +38,12 @@ class BellmanFord(GraphComputation):
                 name="bf.minsrc").map(
                 lambda rec: (rec[1], 0), name="bf.root")
 
+        e_arr = edges.arrange_by_key(name="bf.edges")
+
         def body(inner, scope):
-            e = scope.enter(edges)
+            e = e_arr.enter(scope)
             r = scope.enter(roots)
-            messages = inner.join(
+            messages = inner.join_arranged(
                 e, lambda u, dist, dw: (dw[0], dist + dw[1]),
                 name="bf.joinmsg")
             return messages.concat(r).min_by_key(name="bf.unionmin")

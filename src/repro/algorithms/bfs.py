@@ -36,10 +36,15 @@ class Bfs(GraphComputation):
                 name="bfs.minsrc").map(
                 lambda rec: (rec[1], 0), name="bfs.root")
 
+        # The edges relation is arranged once at the root and shared by
+        # every join in the dataflow (Differential Dataflow's
+        # arrange_by_key); the loop reads the same trace each iteration.
+        e_arr = edges.arrange_by_key(name="bfs.edges")
+
         def body(inner, scope):
-            e = scope.enter(edges)
+            e = e_arr.enter(scope)
             r = scope.enter(roots)
-            step = inner.join(
+            step = inner.join_arranged(
                 e, lambda u, dist, dw: (dw[0], dist + 1), name="bfs.step")
             return step.concat(r).min_by_key(name="bfs.min")
 

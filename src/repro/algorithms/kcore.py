@@ -36,8 +36,10 @@ class KCore(GraphComputation):
             name="kcore.verts")
         seed = vertices.map(lambda v: (v, k), name="kcore.seed")
 
+        pairs_arr = pairs.arrange_by_key(name="kcore.edges")
+
         def body(inner, scope):
-            e = scope.enter(pairs)
+            e = pairs_arr.enter(scope)
             alive = inner.map(lambda rec: rec[0], name="kcore.alive")
             # Edges whose BOTH endpoints survive.
             from_alive = e.semijoin(alive, name="kcore.esrc")

@@ -47,10 +47,12 @@ class Mpsp(GraphComputation):
             if rec[0] in source_set else [],
             name="mpsp.cand").distinct(name="mpsp.roots")
 
+        e_arr = edges.arrange_by_key(name="mpsp.edges")
+
         def body(inner, scope):
-            e = scope.enter(edges)
+            e = e_arr.enter(scope)
             r = scope.enter(roots)
-            step = inner.join(
+            step = inner.join_arranged(
                 e,
                 lambda v, sd, dw: (dw[0], (sd[0], sd[1] + dw[1])),
                 name="mpsp.step")

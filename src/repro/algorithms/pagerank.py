@@ -57,14 +57,15 @@ class PageRank(GraphComputation):
         zeros = vertices.map(lambda v: (v, 0), name="pr.zeros")
 
         quantum = self.quantum
+        e_arr = edges.arrange_by_key(name="pr.edges")
 
         def body(inner, scope):
-            e = scope.enter(edges)
+            e = e_arr.enter(scope)
             deg = scope.enter(degrees)
             zero = scope.enter(zeros)
             per_edge_share = inner.join(
                 deg, lambda v, rank, d: (v, rank // d), name="pr.share")
-            contributions = per_edge_share.join(
+            contributions = per_edge_share.join_arranged(
                 e,
                 lambda u, share, dw: (
                     dw[0], (DAMPING_NUM * share) // DAMPING_DEN),

@@ -37,9 +37,13 @@ class Scc(GraphComputation):
         vertices = pairs.flat_map(lambda rec: (rec[0], rec[1]),
                                   name="scc.ends").distinct(name="scc.verts")
         status0 = vertices.map(lambda v: (v, ACTIVE), name="scc.status0")
+        # The edges relation is arranged once at the root; every peeling
+        # round's semijoin streams its (small) active-vertex set against
+        # this one shared trace.
+        pairs_arr = pairs.arrange_by_key(name="scc.edges")
 
         def outer(inner, oscope):
-            e_all = oscope.enter(pairs)
+            e_all = pairs_arr.enter(oscope)
             active = inner.filter(
                 lambda rec: rec[1] == ACTIVE, name="scc.active").map(
                 lambda rec: rec[0], name="scc.activev")
@@ -53,11 +57,15 @@ class Scc(GraphComputation):
                 lambda rec: (rec[1], rec[0]), name="scc.unflip")
             e_rev = e_act.map(lambda rec: (rec[1], rec[0]), name="scc.rev")
             seed = active.map(lambda v: (v, v), name="scc.seed")
+            # Per-round arrangements of the surviving subgraph, shared
+            # into both inner fixed points.
+            e_act_arr = e_act.arrange_by_key(name="scc.eact")
+            e_rev_arr = e_rev.arrange_by_key(name="scc.erev")
 
             def color_body(cinner, cscope):
-                ce = cscope.enter(e_act)
+                ce = e_act_arr.enter(cscope)
                 cseed = cscope.enter(seed)
-                prop = cinner.join(
+                prop = cinner.join_arranged(
                     ce, lambda u, color, v: (v, color), name="scc.cprop")
                 return prop.concat(cseed).max_by_key(name="scc.cmax")
 
@@ -66,11 +74,11 @@ class Scc(GraphComputation):
                                   name="scc.roots")
 
             def member_body(minner, mscope):
-                mrev = mscope.enter(e_rev)
+                mrev = e_rev_arr.enter(mscope)
                 mcolors = mscope.enter(colors)
                 mroots = mscope.enter(roots)
                 # (w, c) member and edge u->w: u is a candidate for SCC c.
-                cand = minner.join(
+                cand = minner.join_arranged(
                     mrev, lambda w, color, u: (u, color), name="scc.mcand")
                 valid = cand.join(
                     mcolors, lambda u, color, own: (u, color, own),

@@ -26,18 +26,26 @@ class Triangles(GraphComputation):
             name="tri.canon").filter(
             lambda rec: rec[0] != rec[1], name="tri.noself").distinct(
             name="tri.simple")
-        # Wedges at the apex a: pairs of neighbours b < c.
-        wedges = canonical.join(
-            canonical,
+        # Wedges at the apex a: pairs of neighbours b < c. The self-join
+        # reads one shared arrangement of the canonical edge set (joining
+        # the pre-arrangement stream against its own arrangement keeps
+        # pairing exactly-once; see Collection.join_arranged).
+        canon_arr = canonical.arrange_by_key(name="tri.adj")
+        wedges = canonical.join_arranged(
+            canon_arr,
             lambda a, b, c: ((min(b, c), max(b, c)), a),
             name="tri.wedge").filter(
             lambda rec: rec[0][0] != rec[0][1], name="tri.properwedge")
         # Each unordered neighbour pair appears twice ((b,c) and (c,b));
         # halve by keeping one orientation via distinct on (pair, apex).
         wedges = wedges.distinct(name="tri.wedgeset")
+        # The closing relation is keyed by the full (a, b) pair — a second
+        # index over the same edge set, arranged once as well.
         closing = canonical.map(lambda rec: (rec, None), name="tri.closekey")
-        triangles = wedges.join(
-            closing, lambda pair, apex, _m: (apex, pair), name="tri.close")
+        closing_arr = closing.arrange_by_key(name="tri.closeidx")
+        triangles = wedges.join_arranged(
+            closing_arr, lambda pair, apex, _m: (apex, pair),
+            name="tri.close")
         per_apex = triangles.flat_map(
             lambda rec: [(rec[0], 1), (rec[1][0], 1), (rec[1][1], 1)],
             name="tri.members")

@@ -68,10 +68,12 @@ class VertexProgram(GraphComputation):
             merged = program.merge(key, values)
             return [] if merged is None else [merged]
 
+        e_arr = edges.arrange_by_key(name="vp.edges")
+
         def body(inner, scope):
-            e = scope.enter(edges)
+            e = e_arr.enter(scope)
             s = scope.enter(seeds)
-            messages = inner.join(
+            messages = inner.join_arranged(
                 e,
                 lambda u, value, dw: (
                     dw[0], program.message(u, value, dw[0], dw[1])),

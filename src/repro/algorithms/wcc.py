@@ -23,10 +23,13 @@ class Wcc(GraphComputation):
             name="wcc.vset")
         labels = vertices.map(lambda v: (v, v), name="wcc.seed")
 
+        # One shared arrangement of the edges, reused every iteration.
+        e_arr = edges.arrange_by_key(name="wcc.edges")
+
         def body(inner, scope):
-            e = scope.enter(edges)
+            e = e_arr.enter(scope)
             seed = scope.enter(labels)
-            propagated = inner.join(
+            propagated = inner.join_arranged(
                 e, lambda u, label, dw: (dw[0], label), name="wcc.prop")
             return propagated.concat(seed).min_by_key(name="wcc.min")
 

@@ -1,14 +1,18 @@
-"""Render experiment results to Markdown, CSV, and ASCII charts.
+"""Render experiment results to Markdown, CSV, ASCII charts, and JSON.
 
 Used by ``python -m repro.bench <exp> --save DIR`` to archive runs, and
-handy for comparing against the records in EXPERIMENTS.md.
+handy for comparing against the records in EXPERIMENTS.md. The JSON
+helpers back the hot-path benchmark-regression gate
+(``benchmarks/bench_hotpath.py`` against the committed
+``BENCH_engine.json`` baseline).
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
-from typing import Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
 from repro.bench.harness import ExperimentResult
 
@@ -80,3 +84,75 @@ def save_report(rows: Iterable[ExperimentResult], directory: PathLike,
     to_csv(rows, directory / f"{name}.csv")
     (directory / f"{name}.md").write_text(
         to_markdown(rows, title=name) + "\n")
+
+
+# -- benchmark-baseline JSON (the hot-path regression gate) -------------------
+
+#: Schema version of the benchmark-baseline files. Bump when the payload
+#: layout changes incompatibly; the gate refuses to compare across versions.
+BENCH_SCHEMA = 1
+
+
+def bench_to_json(payload: Dict[str, object], path: PathLike) -> None:
+    """Write a benchmark payload (see :func:`compare_benchmarks`) as JSON.
+
+    The payload is produced by ``benchmarks/bench_hotpath.py`` and looks
+    like::
+
+        {"suite": "hotpath", "schema": 1, "calibration_seconds": 0.12,
+         "scenarios": {"join_heavy": {"wall_seconds": ..., "score": ...,
+                                      "work": ..., "parallel_time": ...}}}
+    """
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_bench_json(path: PathLike) -> Dict[str, object]:
+    """Load a benchmark baseline written by :func:`bench_to_json`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    schema = payload.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(
+            f"benchmark baseline {path} has schema {schema!r}; "
+            f"this build reads schema {BENCH_SCHEMA}")
+    return payload
+
+
+def compare_benchmarks(current: Dict[str, object],
+                       baseline: Dict[str, object],
+                       tolerance: float = 0.25) -> List[str]:
+    """Compare a benchmark run against a baseline; return regressions.
+
+    Wall clock is compared through the calibration-normalized ``score``
+    (scenario seconds divided by the run's pure-Python calibration loop
+    seconds), which absorbs machine-speed differences between the laptop
+    that committed the baseline and the CI runner. The deterministic cost
+    counters (``work``, ``parallel_time``) are compared directly.
+
+    A scenario regresses when its score or work exceeds the baseline by
+    more than ``tolerance`` (fractional, e.g. ``0.25`` = 25%). Missing
+    scenarios are regressions too — a gate that silently stops measuring
+    is not a gate. Returns human-readable regression messages (empty =
+    pass).
+    """
+    problems: List[str] = []
+    base_scenarios = baseline.get("scenarios", {})
+    cur_scenarios = current.get("scenarios", {})
+    for name, base in sorted(base_scenarios.items()):
+        cur = cur_scenarios.get(name)
+        if cur is None:
+            problems.append(f"{name}: scenario missing from current run")
+            continue
+        for metric in ("score", "work"):
+            base_value = base.get(metric)
+            cur_value = cur.get(metric)
+            if not base_value:
+                continue
+            ratio = cur_value / base_value
+            if ratio > 1.0 + tolerance:
+                problems.append(
+                    f"{name}: {metric} regressed {ratio:.2f}x "
+                    f"({base_value:g} -> {cur_value:g}, "
+                    f"tolerance {tolerance:.0%})")
+    return problems

@@ -8,7 +8,7 @@ natural split points sit. ``Graphsurge.explain(name)`` prints the summary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.view_collection import MaterializedCollection
 
@@ -75,6 +75,11 @@ class CollectionSummary:
     #: Resumability info when a run checkpoint was inspected (see
     #: :func:`checkpoint_status`); ``None`` when no journal was consulted.
     checkpoint: Optional[CheckpointStatus] = None
+    #: Stored trace entries per operator from a finished analytics run
+    #: (``CollectionRunResult.trace_memory``); ``None`` when no run was
+    #: supplied. Makes trace-memory growth — and the saving from shared
+    #: arrangements — visible from the CLI.
+    trace_memory: Optional[Dict[str, int]] = None
 
     @property
     def mean_churn(self) -> float:
@@ -111,15 +116,27 @@ class CollectionSummary:
                          "dominate")
         if self.checkpoint is not None:
             lines.append(self.checkpoint.render())
+        if self.trace_memory is not None:
+            total = sum(self.trace_memory.values())
+            lines.append(f"trace memory: {total} stored difference entries "
+                         f"across {len(self.trace_memory)} operators")
+            top = sorted(self.trace_memory.items(),
+                         key=lambda item: -item[1])[:5]
+            for name, entries in top:
+                if entries:
+                    lines.append(f"  {name}: {entries}")
         return "\n".join(lines)
 
 
 def summarize_collection(collection: MaterializedCollection,
-                         checkpoint_path=None) -> CollectionSummary:
+                         checkpoint_path=None,
+                         run_result=None) -> CollectionSummary:
     """Compute similarity statistics for a collection.
 
     With ``checkpoint_path``, the summary also reports whether a run
-    checkpoint exists for the collection and how far it got.
+    checkpoint exists for the collection and how far it got. With
+    ``run_result`` (a ``CollectionRunResult``), it reports the run's final
+    per-operator trace memory.
     """
     churn: List[float] = []
     jaccard: List[float] = []
@@ -143,4 +160,6 @@ def summarize_collection(collection: MaterializedCollection,
         jaccard=jaccard,
         checkpoint=(checkpoint_status(checkpoint_path)
                     if checkpoint_path is not None else None),
+        trace_memory=(run_result.trace_memory
+                      if run_result is not None else None),
     )

@@ -111,6 +111,10 @@ class CollectionRunResult:
     #: How many leading views were restored from a checkpoint instead of
     #: being executed in this call (0 for a non-resumed run).
     resumed_views: int = 0
+    #: Stored trace entries per operator at the end of the run (shared
+    #: arrangements counted once, at their ArrangeOp). Shows trace-memory
+    #: growth and the arrangement-sharing saving; feeds ``explain``.
+    trace_memory: Optional[Dict[str, int]] = None
 
     def strategy_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -297,6 +301,11 @@ class AnalyticsExecutor:
         finally:
             if writer is not None:
                 writer.close()
+        trace_memory = None
+        if dataflow is not None:
+            from repro.differential.debug import operator_record_counts
+
+            trace_memory = operator_record_counts(dataflow)
         return CollectionRunResult(
             computation=computation.name,
             collection=collection.name,
@@ -307,6 +316,7 @@ class AnalyticsExecutor:
             total_parallel_time=sum(r.parallel_time for r in results),
             split_points=split_points,
             resumed_views=start_index,
+            trace_memory=trace_memory,
         )
 
     # -- per-view execution with recovery ---------------------------------------

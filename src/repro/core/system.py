@@ -130,18 +130,22 @@ class Graphsurge:
         view = compute_aggregate_view(base, statement)
         self.views.add_view(statement.name, view)
 
-    def explain(self, name: str, checkpoint_path=None) -> str:
+    def explain(self, name: str, checkpoint_path=None,
+                run_result=None) -> str:
         """Summarize a materialized collection (similarity, split hints).
 
         With ``checkpoint_path``, the summary also reports whether a run
         checkpoint exists for the collection — how many views completed
-        and where a resumed run would pick up.
+        and where a resumed run would pick up. With ``run_result`` (the
+        value returned by :meth:`run_analytics`), it also reports the
+        run's per-operator trace memory.
         """
         from repro.core.diagnostics import summarize_collection
 
         collection = self.views.get_collection(name)
         return summarize_collection(
-            collection, checkpoint_path=checkpoint_path).render()
+            collection, checkpoint_path=checkpoint_path,
+            run_result=run_result).render()
 
     # -- persistence ---------------------------------------------------------------
 

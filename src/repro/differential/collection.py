@@ -182,15 +182,31 @@ class Collection:
         op = ArrangeOp(self.dataflow, self.scope, name, self.op)
         return Arrangement(self.dataflow, op, self.scope)
 
+    def arrange_by_key(self, name: str = "arrange") -> "Arrangement":
+        """Differential Dataflow's canonical name for :meth:`arrange`."""
+        return self.arrange(name)
+
     def join_arranged(self, arrangement: "Arrangement",
                       f: Optional[Callable[[Any, Any, Any], Any]] = None,
                       name: str = "join_arranged") -> "Collection":
-        """Equi-join this collection against a shared arrangement."""
+        """Equi-join this collection against a shared arrangement.
+
+        For a self-join, join the *pre-arrangement* collection against its
+        own arrangement (``coll.join_arranged(coll.arrange())``): the
+        arrangement stores each difference before forwarding it, so
+        joining the arrangement's own output stream back against it would
+        pair a difference with itself on both ports.
+        """
         from repro.differential.operators.arrange import JoinArrangedOp
 
         if arrangement.scope is not self.scope:
             raise DataflowError(
                 "arrangement and collection are in different scopes")
+        if self.op is arrangement.op:
+            raise DataflowError(
+                f"cannot join an arrangement's own output stream against "
+                f"itself ({self.op.name}); self-join the collection that "
+                f"was arranged instead")
         if f is None:
             f = lambda k, va, vb: (k, (va, vb))  # noqa: E731
         op = JoinArrangedOp(self.dataflow, self.scope, name, self.op,
@@ -255,6 +271,47 @@ class Arrangement:
     def as_collection(self) -> Collection:
         """The arranged stream itself (ArrangeOp forwards differences)."""
         return Collection(self.dataflow, self.op, self.scope)
+
+    def enter(self, scope: "Scope") -> "Arrangement":
+        """Bring this arrangement into a descendant (iterate) scope.
+
+        The stored trace is *shared*, not copied — this is the point of
+        arrangements: an edges relation arranged once at the root can feed
+        joins inside every loop of the dataflow. Only the difference
+        stream is re-timestamped (a zero loop coordinate per level, as
+        with ``scope.enter``); joins pad the trace's shorter stored times
+        on the fly.
+        """
+        from repro.differential.operators.arrange import ArrangeEnterOp
+
+        path = []
+        cursor: "Scope | None" = scope
+        while cursor is not None and cursor is not self.scope:
+            path.append(cursor)
+            cursor = cursor.parent
+        if cursor is None:
+            raise DataflowError(
+                "Arrangement.enter() requires a descendant scope")
+        current = self
+        for target in reversed(path):
+            op = ArrangeEnterOp(self.dataflow, current.scope,
+                                current.op.name + ".enter", current.op)
+            current = Arrangement(self.dataflow, op, target)
+        return current
+
+    def semijoin(self, keys: Collection, name: str = "semijoin") -> Collection:
+        """Arranged counterpart of :meth:`Collection.semijoin`.
+
+        Keeps the arranged relation's records whose key appears in
+        ``keys``; the (usually small) key set streams against the shared
+        trace, so the big relation is never re-indexed. Work accounting is
+        identical to the unarranged form — the join's cost is symmetric in
+        which side streams.
+        """
+        marker = keys.map(lambda k: (k, None), name=name + ".mark").distinct(
+            name=name + ".dedup").map(lambda rec: rec, name=name + ".id")
+        return marker.join_arranged(
+            self, lambda k, _marker, v: (k, v), name=name)
 
     def record_count(self) -> int:
         """Stored difference entries — for memory diagnostics/tests."""

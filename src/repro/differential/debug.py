@@ -17,6 +17,11 @@ from typing import Dict, List, Optional
 
 from repro.differential.dataflow import Dataflow, Scope
 from repro.differential.multiset import consolidate
+from repro.differential.operators.arrange import (
+    ArrangeEnterOp,
+    ArrangeOp,
+    JoinArrangedOp,
+)
 from repro.differential.operators.base import Operator
 from repro.differential.operators.iterate import IterateOp, VariableOp
 from repro.differential.operators.join import JoinOp
@@ -98,8 +103,71 @@ def trace_stats(dataflow: Dataflow) -> List[OperatorStats]:
                     op.traces[1].record_count()
                 stats.append(OperatorStats(op.name, "join", keys,
                                            entries, 0))
+            elif isinstance(op, ArrangeOp):
+                keys = sum(1 for _ in op.trace.keys())
+                stats.append(OperatorStats(op.name, "arrange", keys,
+                                           op.trace.record_count(), 0))
+            elif isinstance(op, JoinArrangedOp):
+                # The arranged side's trace is reported at its ArrangeOp;
+                # only the private stream-side trace is this op's state.
+                keys = sum(1 for _ in op.left_trace.keys())
+                stats.append(OperatorStats(op.name, "join_arranged", keys,
+                                           op.left_trace.record_count(), 0))
     stats.sort(key=lambda s: -s.entries)
     return stats
+
+
+def _operator_traces(op: Operator):
+    if isinstance(op, ReduceOp):
+        return [op.in_trace, op.out_trace]
+    if isinstance(op, VariableOp):
+        return [op.in_trace, op.body_trace, op.out_trace]
+    if isinstance(op, JoinOp):
+        return [op.traces[0], op.traces[1]]
+    if isinstance(op, ArrangeOp) and not isinstance(op, ArrangeEnterOp):
+        return [op.trace]
+    if isinstance(op, JoinArrangedOp):
+        return [op.left_trace]  # the arranged trace belongs to its ArrangeOp
+    return []
+
+
+def operator_record_counts(dataflow: Dataflow) -> Dict[str, int]:
+    """Stored trace entries per operator (shared arrangements counted once,
+    at their ``ArrangeOp``). Feeds ``explain``'s trace-memory report."""
+    counts: Dict[str, int] = {}
+    for ops in _scope_ops(dataflow).values():
+        for op in ops:
+            traces = _operator_traces(op)
+            if traces:
+                counts[op.name] = sum(t.record_count() for t in traces)
+    return counts
+
+
+def check_consolidated(dataflow: Dataflow) -> List[str]:
+    """Assert the consolidation invariant across all stored traces.
+
+    Every difference the engine stores must be consolidated: no
+    zero-multiplicity values and no empty time slots. ``multiset.is_empty``
+    is a plain falsiness test *because* of this invariant, so a violation
+    here means some operator stored an unconsolidated diff and emptiness
+    checks downstream are no longer trustworthy. Returns human-readable
+    violations (empty = invariant holds).
+    """
+    problems: List[str] = []
+    for ops in _scope_ops(dataflow).values():
+        for op in ops:
+            for trace in _operator_traces(op):
+                for key in trace.keys():
+                    for time, diff in trace.get(key).entries.items():
+                        if not diff:
+                            problems.append(
+                                f"{op.name} ({trace.name}): key {key!r} "
+                                f"stores an empty diff at {time}")
+                        elif any(mult == 0 for mult in diff.values()):
+                            problems.append(
+                                f"{op.name} ({trace.name}): key {key!r} "
+                                f"stores zero multiplicities at {time}")
+    return problems
 
 
 def check_consistency(dataflow: Dataflow,

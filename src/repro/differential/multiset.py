@@ -66,8 +66,14 @@ def from_weighted(pairs: Iterable[Tuple[Any, int]]) -> Diff:
 
 
 def is_empty(diff: Diff) -> bool:
-    """True when the consolidated multiset carries no records."""
-    return not diff or all(mult == 0 for mult in diff.values())
+    """True when the multiset carries no records.
+
+    Relies on the module invariant that every helper consolidates (drops
+    zero multiplicities) — so emptiness is just falsiness, no scan. The
+    invariant itself is asserted by
+    :func:`repro.differential.debug.check_consolidated`.
+    """
+    return not diff
 
 
 def size(diff: Diff) -> int:

@@ -79,35 +79,44 @@ class VariableOp(Operator):
         """Deliver the initial-value diff (from the parent scope)."""
         time = parent_time + (0,)
         switch = parent_time + (1,)
-        for rec, mult in diff.items():
-            key, value = self._split(rec)
-            self.in_trace.update(key, time, {value: mult})
-            self.schedule.schedule(key, time)
+        grouped = self._group(diff)
+        self.in_trace.update_batch(time, grouped)
+        schedule = self.schedule.schedule
+        for key in grouped:
+            schedule(key, time)
             # At iteration 1 the variable's definition switches from the
             # initial value to the body result; a key the body never
             # reproduces must be retracted there even though the body
             # emits no difference for it.
-            self.schedule.schedule(key, switch)
+            schedule(key, switch)
 
     def on_delta(self, port: int, time: Time, diff: Diff) -> None:
         if port != 1:
             raise AssertionError("variable body deltas arrive on port 1")
         shifted = time[:-1] + (time[-1] + 1,)
-        for rec, mult in diff.items():
-            key, value = self._split(rec)
-            self.body_trace.update(key, time, {value: mult})
-            self.schedule.schedule(key, shifted)
+        grouped = self._group(diff)
+        self.body_trace.update_batch(time, grouped)
+        schedule = self.schedule.schedule
+        for key in grouped:
+            schedule(key, shifted)
 
     @staticmethod
-    def _split(rec: Any):
-        try:
-            key, value = rec
-        except (TypeError, ValueError):
-            raise TypeError(
-                f"iterate collections must carry (key, value) records; "
-                f"got {rec!r}"
-            ) from None
-        return key, value
+    def _group(diff: Diff) -> Dict[Any, Diff]:
+        grouped: Dict[Any, Diff] = {}
+        for rec, mult in diff.items():
+            try:
+                key, value = rec
+            except (TypeError, ValueError):
+                raise TypeError(
+                    f"iterate collections must carry (key, value) records; "
+                    f"got {rec!r}"
+                ) from None
+            slot = grouped.get(key)
+            if slot is None:
+                grouped[key] = {value: mult}
+            else:
+                slot[value] = slot.get(value, 0) + mult
+        return grouped
 
     def flush(self, time: Time) -> None:
         keys = self.schedule.tasks_at(time)
@@ -132,10 +141,7 @@ class VariableOp(Operator):
             delta = dict(target)
             add_into(delta, current, factor=-1)
             prior = self.out_trace.get(key)
-            if prior is not None and time in prior.entries:
-                stored = prior.entries.pop(time)
-            else:
-                stored = {}
+            stored = prior.take(time) if prior is not None else {}
             emit = dict(delta)
             add_into(emit, stored, factor=-1)
             if delta:

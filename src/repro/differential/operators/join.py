@@ -37,7 +37,13 @@ class JoinOp(Operator):
         meter = self.dataflow.meter
         mine = self.traces[port]
         other = self.traces[1 - port]
-        outputs: Dict[Time, Diff] = {}
+        f = self.f
+        epoch = time[0]
+        # Group the incoming batch by key: one trace touch, one compaction
+        # probe and one meter call per key instead of one per record. The
+        # pairing below is bilinear, so pairing the whole per-key value
+        # diff at once produces exactly the per-record pairs.
+        grouped: Dict[Any, Diff] = {}
         for rec, mult in diff.items():
             try:
                 key, value = rec
@@ -46,24 +52,38 @@ class JoinOp(Operator):
                     f"join input records must be (key, value) pairs; "
                     f"operator {self.name} got {rec!r}"
                 ) from None
+            slot = grouped.get(key)
+            if slot is None:
+                grouped[key] = {value: mult}
+            else:
+                slot[value] = slot.get(value, 0) + mult
+        outputs: Dict[Time, Diff] = {}
+        for key, values in grouped.items():
             # First incorporate into our own trace so the opposite side's
             # future deltas at this timestamp pair against it (each pair of
             # diffs is thus counted exactly once).
-            mine.update(key, time, {value: mult})
-            other.maybe_compact(key, time[0])
+            mine.update(key, time, values)
+            other.maybe_compact(key, epoch)
             other_key = other.get(key)
-            meter.record(key)
+            meter.record(key, len(values))
             if other_key is None:
                 continue
+            pairs = 0
             for t2, vals in other_key.entries.items():
                 out_time = lub(time, t2)
                 slot = outputs.setdefault(out_time, {})
-                for v2, m2 in vals.items():
-                    meter.record(key)
-                    if port == 0:
-                        out = self.f(key, value, v2)
-                    else:
-                        out = self.f(key, v2, value)
-                    slot[out] = slot.get(out, 0) + mult * m2
+                pairs += len(vals)
+                if port == 0:
+                    for value, mult in values.items():
+                        for v2, m2 in vals.items():
+                            out = f(key, value, v2)
+                            slot[out] = slot.get(out, 0) + mult * m2
+                else:
+                    for value, mult in values.items():
+                        for v2, m2 in vals.items():
+                            out = f(key, v2, value)
+                            slot[out] = slot.get(out, 0) + mult * m2
+            if pairs:
+                meter.record(key, pairs * len(values))
         for out_time in sorted(outputs):
             self.send(out_time, consolidate(outputs[out_time]))

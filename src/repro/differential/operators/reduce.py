@@ -36,6 +36,9 @@ class ReduceOp(Operator):
         self.schedule = TimeSchedule()
 
     def on_delta(self, port: int, time: Time, diff: Diff) -> None:
+        # Batched path: one trace touch and one schedule call per key
+        # instead of one per record.
+        grouped: Dict[Any, Diff] = {}
         for rec, mult in diff.items():
             try:
                 key, value = rec
@@ -44,8 +47,15 @@ class ReduceOp(Operator):
                     f"reduce input records must be (key, value) pairs; "
                     f"operator {self.name} got {rec!r}"
                 ) from None
-            self.in_trace.update(key, time, {value: mult})
-            self.schedule.schedule(key, time)
+            slot = grouped.get(key)
+            if slot is None:
+                grouped[key] = {value: mult}
+            else:
+                slot[value] = slot.get(value, 0) + mult
+        self.in_trace.update_batch(time, grouped)
+        schedule = self.schedule.schedule
+        for key in grouped:
+            schedule(key, time)
 
     def flush(self, time: Time) -> None:
         keys = self.schedule.tasks_at(time)
@@ -77,10 +87,7 @@ class ReduceOp(Operator):
             add_into(delta, current, factor=-1)
             # Replace whatever we previously stored at exactly `time`.
             prior = self.out_trace.get(key)
-            if prior is not None and time in prior.entries:
-                stored = prior.entries.pop(time)
-            else:
-                stored = {}
+            stored = prior.take(time) if prior is not None else {}
             emit = dict(delta)
             add_into(emit, stored, factor=-1)
             if delta:

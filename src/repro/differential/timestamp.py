@@ -23,9 +23,20 @@ def leq(s: Time, t: Time) -> bool:
 
     Times from different scope depths are never comparable; the engine only
     compares times within one scope, where arities match.
+
+    Arities 1-3 (root, one loop, nested loops) are unrolled: this is the
+    innermost comparison of the engine and the generic zip/genexpr form
+    dominated profiles.
     """
-    if len(s) != len(t):
+    n = len(s)
+    if n != len(t):
         return False
+    if n == 2:
+        return s[0] <= t[0] and s[1] <= t[1]
+    if n == 1:
+        return s[0] <= t[0]
+    if n == 3:
+        return s[0] <= t[0] and s[1] <= t[1] and s[2] <= t[2]
     return all(a <= b for a, b in zip(s, t))
 
 
@@ -36,8 +47,19 @@ def lt(s: Time, t: Time) -> bool:
 
 def lub(s: Time, t: Time) -> Time:
     """Least upper bound (join) under the product order."""
-    if len(s) != len(t):
+    n = len(s)
+    if n != len(t):
         raise ValueError(f"cannot join times of different arity: {s} vs {t}")
+    if n == 2:
+        a, b = s
+        c, d = t
+        return (a if a >= c else c, b if b >= d else d)
+    if n == 1:
+        return s if s[0] >= t[0] else t
+    if n == 3:
+        a, b, e = s
+        c, d, f = t
+        return (a if a >= c else c, b if b >= d else d, e if e >= f else f)
     return tuple(max(a, b) for a, b in zip(s, t))
 
 

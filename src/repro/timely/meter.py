@@ -78,10 +78,17 @@ class WorkMeter:
         if units <= 0:
             return
         if self.fault_plan is not None:
-            spec = self.fault_plan.fire("operator", context=repr(key))
-            if spec is not None and spec.kind == "corrupt":
-                # Cost-model corruption: the work is wildly over-reported.
-                units *= 1000
+            # Fire once per unit, not per call: operators batch their
+            # metering (one call for n records), and fault offsets are
+            # specified against the unit counter (``at=total_work // 2``
+            # style), which must not depend on batch sizes.
+            extra = 0
+            for _unit in range(units):
+                spec = self.fault_plan.fire("operator", context=repr(key))
+                if spec is not None and spec.kind == "corrupt":
+                    # Cost-model corruption: wildly over-reported work.
+                    extra += 999
+            units += extra
         self.total_work += units
         worker = shard_for(key, self.workers)
         if self._frames:

@@ -1,0 +1,39 @@
+"""Trace-memory observability: executor capture + explain rendering."""
+
+from repro.algorithms import Wcc
+from repro.core.executor import AnalyticsExecutor, ExecutionMode
+from repro.core.diagnostics import summarize_collection
+from repro.core.view_collection import collection_from_diffs
+
+
+def chain_collection(num_views=5):
+    diffs = []
+    for index in range(num_views):
+        diffs.append({(index, index, index + 1, 1): 1})
+    return collection_from_diffs("chain", diffs)
+
+
+class TestTraceMemoryCapture:
+    def test_collection_run_records_operator_counts(self):
+        collection = chain_collection()
+        result = AnalyticsExecutor().run_on_collection(
+            Wcc(), collection, mode=ExecutionMode.DIFF_ONLY)
+        assert result.trace_memory is not None
+        assert sum(result.trace_memory.values()) > 0
+        # The shared edges arrangement is visible as a named operator.
+        assert "wcc.edges" in result.trace_memory
+        assert result.trace_memory["wcc.edges"] > 0
+
+    def test_explain_renders_trace_memory(self):
+        collection = chain_collection()
+        result = AnalyticsExecutor().run_on_collection(
+            Wcc(), collection, mode=ExecutionMode.DIFF_ONLY)
+        summary = summarize_collection(collection, run_result=result)
+        text = summary.render()
+        assert "trace memory" in text
+        assert "wcc.edges" in text
+
+    def test_explain_without_run_result_omits_trace_memory(self):
+        collection = chain_collection()
+        text = summarize_collection(collection).render()
+        assert "trace memory" not in text

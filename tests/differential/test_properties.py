@@ -1,0 +1,205 @@
+"""Randomized property tests for the engine hot path.
+
+Two families:
+
+* arranged joins must be observationally equivalent to private-trace
+  ``JoinOp`` joins — including inside iterate scopes (an arrangement
+  built at the root and ``enter``-ed into the loop) and across random
+  multi-epoch churn on both inputs;
+* :class:`KeyTrace`'s cached accumulation must agree with brute-force
+  recomputation under arbitrary interleavings of ``update`` / ``take`` /
+  ``compact_below`` / ``accumulate``, with the internal cache invariants
+  (``check_cache``) holding after every step.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.differential import Dataflow
+from repro.differential.multiset import add_into, consolidate
+from repro.differential.timestamp import leq
+from repro.differential.trace import KeyTrace
+
+
+def _random_churn(rng, state, n_keys, n_vals, max_ops):
+    """Random insert/delete diff against `state` (a set of records)."""
+    diff = {}
+    for _ in range(rng.randrange(max_ops)):
+        rec = (rng.randrange(n_keys), rng.randrange(n_vals))
+        if rec in state and rng.random() < 0.4:
+            state.discard(rec)
+            diff[rec] = diff.get(rec, 0) - 1
+        elif rec not in state:
+            state.add(rec)
+            diff[rec] = diff.get(rec, 0) + 1
+    return consolidate(diff)
+
+
+class TestArrangedJoinEquivalence:
+    """join_arranged ≡ join, at the root and inside iterate scopes."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_iterate_twin_loops_match(self, seed):
+        """Two BFS-style loops — one over a shared root arrangement
+        entered into the scope, one over a private-trace join — must agree
+        at every epoch of a random edge/root churn schedule."""
+        rng = random.Random(2000 + seed)
+        df = Dataflow()
+        edges = df.new_input("edges")
+        roots = df.new_input("roots")
+        e_arr = edges.arrange("edges.arr")
+
+        def body_shared(inner, scope):
+            e = e_arr.enter(scope)
+            r = scope.enter(roots)
+            step = inner.join_arranged(
+                e, lambda u, dist, v: (v, dist + 1), name="shared.step")
+            return step.concat(r).min_by_key(name="shared.min")
+
+        def body_plain(inner, scope):
+            e = scope.enter(edges)
+            r = scope.enter(roots)
+            step = inner.join(
+                e, lambda u, dist, v: (v, dist + 1), name="plain.step")
+            return step.concat(r).min_by_key(name="plain.min")
+
+        shared = df.capture(roots.iterate(body_shared, name="shared.loop"),
+                            "shared")
+        plain = df.capture(roots.iterate(body_plain, name="plain.loop"),
+                           "plain")
+
+        n = 10
+        edge_state = set()
+        root_state = set()
+        df.step({"edges": {}, "roots": {(0, 0): 1}})
+        root_state.add((0, 0))
+        assert shared.value_at_epoch(0) == plain.value_at_epoch(0)
+        for epoch in range(1, 8):
+            feed = {"edges": _random_churn(rng, edge_state, n, n, 6)}
+            if rng.random() < 0.3:
+                feed["roots"] = _random_churn(rng, root_state, n, 1, 2)
+            df.step(feed)
+            assert shared.value_at_epoch(epoch) == \
+                plain.value_at_epoch(epoch), (seed, epoch)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_one_arrangement_two_consumers_match_private_joins(self, seed):
+        """One arrangement feeding two stream sides ≡ two private joins."""
+        rng = random.Random(3000 + seed)
+        df = Dataflow()
+        a = df.new_input("a")
+        b = df.new_input("b")
+        c = df.new_input("c")
+        arr = b.arrange()
+        sh_a = df.capture(a.join_arranged(arr), "sh_a")
+        sh_c = df.capture(c.join_arranged(arr), "sh_c")
+        pl_a = df.capture(a.join(b), "pl_a")
+        pl_c = df.capture(c.join(b), "pl_c")
+        state = {"a": set(), "b": set(), "c": set()}
+        for epoch in range(6):
+            df.step({name: _random_churn(rng, s, 4, 4, 5)
+                     for name, s in state.items()})
+            assert sh_a.value_at_epoch(epoch) == pl_a.value_at_epoch(epoch)
+            assert sh_c.value_at_epoch(epoch) == pl_c.value_at_epoch(epoch)
+
+
+# -- KeyTrace model check -----------------------------------------------------
+
+
+class _BruteTrace:
+    """Oracle: same storage discipline as KeyTrace, no cache — every
+    accumulation is recomputed from scratch."""
+
+    def __init__(self):
+        self.entries = {}
+        self.compacted_below = 0
+
+    def update(self, time, diff):
+        if time[0] < self.compacted_below:
+            self.compacted_below = time[0]
+        slot = self.entries.setdefault(time, {})
+        add_into(slot, diff)
+        if not slot:
+            del self.entries[time]
+
+    def take(self, time):
+        return self.entries.pop(time, {})
+
+    def compact_below(self, epoch):
+        if epoch <= self.compacted_below:
+            return
+        self.compacted_below = epoch
+        merged = {}
+        for time, diff in self.entries.items():
+            rep = (0,) + time[1:] if time[0] < epoch else time
+            add_into(merged.setdefault(rep, {}), diff)
+        self.entries = {t: d for t, d in merged.items() if d}
+
+    def accumulate(self, time):
+        acc = {}
+        for s, diff in self.entries.items():
+            if leq(s, time):
+                add_into(acc, diff)
+        return acc
+
+
+times2 = st.tuples(st.integers(0, 3), st.integers(0, 3))
+_ops = st.one_of(
+    st.tuples(st.just("update"), times2, st.integers(0, 2),
+              st.integers(-2, 2).filter(bool)),
+    st.tuples(st.just("take"), times2),
+    st.tuples(st.just("compact"), st.integers(0, 4)),
+    st.tuples(st.just("acc"), times2),
+)
+
+
+class TestKeyTraceModelCheck:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(_ops, max_size=30))
+    def test_cached_accumulation_matches_brute_force(self, ops):
+        trace = KeyTrace()
+        oracle = _BruteTrace()
+        for op in ops:
+            if op[0] == "update":
+                _, time, rec, mult = op
+                trace.update(time, {rec: mult})
+                oracle.update(time, {rec: mult})
+            elif op[0] == "take":
+                assert trace.take(op[1]) == oracle.take(op[1])
+            elif op[0] == "compact":
+                trace.compact_below(op[1])
+                oracle.compact_below(op[1])
+            else:
+                assert trace.accumulate(op[1]) == oracle.accumulate(op[1])
+            trace.check_cache()
+            assert trace.entries == oracle.entries
+        for probe in [(0, 0), (1, 2), (3, 0), (3, 3)]:
+            assert trace.accumulate(probe) == oracle.accumulate(probe)
+            assert trace.accumulate_strict(probe) == consolidate(
+                add_into(oracle.accumulate(probe),
+                         oracle.entries.get(probe, {}), factor=-1))
+            trace.check_cache()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_monotone_query_schedule_with_compaction(self, seed):
+        """The engine's actual access pattern: lexicographically increasing
+        queries within an epoch, compaction at epoch rollover."""
+        rng = random.Random(seed)
+        trace = KeyTrace()
+        oracle = _BruteTrace()
+        for epoch in range(5):
+            trace.compact_below(epoch)
+            oracle.compact_below(epoch)
+            trace.check_cache()
+            for it in range(4):
+                time = (epoch, it)
+                for _ in range(rng.randrange(3)):
+                    diff = {rng.randrange(3): rng.choice([-1, 1])}
+                    trace.update(time, diff)
+                    oracle.update(time, diff)
+                assert trace.accumulate(time) == oracle.accumulate(time)
+                trace.check_cache()
+            assert trace.entries == oracle.entries

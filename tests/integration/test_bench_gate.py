@@ -1,0 +1,114 @@
+"""The hot-path benchmark-regression gate: JSON baseline + comparison."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.reporting import (
+    BENCH_SCHEMA,
+    bench_to_json,
+    compare_benchmarks,
+    load_bench_json,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _scenario(score, work):
+    return {"wall_seconds": score * 0.1, "score": score,
+            "work": work, "parallel_time": work}
+
+
+def _payload(**scenarios):
+    return {"suite": "hotpath", "schema": BENCH_SCHEMA,
+            "calibration_seconds": 0.1, "scenarios": scenarios}
+
+
+class TestBaselineJson:
+    def test_round_trip(self, tmp_path):
+        payload = _payload(join_heavy=_scenario(10.0, 1000))
+        path = tmp_path / "bench.json"
+        bench_to_json(payload, path)
+        assert load_bench_json(path) == payload
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        payload = _payload()
+        payload["schema"] = BENCH_SCHEMA + 1
+        path = tmp_path / "bench.json"
+        bench_to_json(payload, path)
+        with pytest.raises(ValueError, match="schema"):
+            load_bench_json(path)
+
+
+class TestCompareGate:
+    def test_pass_within_tolerance(self):
+        base = _payload(a=_scenario(10.0, 1000))
+        cur = _payload(a=_scenario(12.0, 1000))
+        assert compare_benchmarks(cur, base, tolerance=0.25) == []
+
+    def test_score_regression_flagged(self):
+        base = _payload(a=_scenario(10.0, 1000))
+        cur = _payload(a=_scenario(13.0, 1000))
+        problems = compare_benchmarks(cur, base, tolerance=0.25)
+        assert len(problems) == 1
+        assert "score regressed 1.30x" in problems[0]
+
+    def test_work_regression_flagged(self):
+        base = _payload(a=_scenario(10.0, 1000))
+        cur = _payload(a=_scenario(10.0, 1400))
+        problems = compare_benchmarks(cur, base, tolerance=0.25)
+        assert any("work regressed" in p for p in problems)
+
+    def test_missing_scenario_is_a_regression(self):
+        base = _payload(a=_scenario(10.0, 1000), b=_scenario(5.0, 500))
+        cur = _payload(a=_scenario(10.0, 1000))
+        problems = compare_benchmarks(cur, base)
+        assert problems == ["b: scenario missing from current run"]
+
+    def test_improvements_and_new_scenarios_pass(self):
+        base = _payload(a=_scenario(10.0, 1000))
+        cur = _payload(a=_scenario(3.0, 400), b=_scenario(1.0, 10))
+        assert compare_benchmarks(cur, base) == []
+
+
+def _load_bench_hotpath():
+    path = REPO_ROOT / "benchmarks" / "bench_hotpath.py"
+    spec = importlib.util.spec_from_file_location("bench_hotpath", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["bench_hotpath"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestHotpathSuite:
+    def test_tiny_suite_runs_and_gates_against_itself(self, tmp_path):
+        bench = _load_bench_hotpath()
+        payload = bench.run_suite(scale=0.15)
+        assert payload["schema"] == BENCH_SCHEMA
+        assert set(payload["scenarios"]) >= {
+            "join_heavy", "join_arranged_shared", "iterate_heavy",
+            "collection_run_wcc", "collection_run_bfs"}
+        for scenario in payload["scenarios"].values():
+            assert scenario["work"] > 0
+            assert scenario["score"] > 0
+        path = tmp_path / "baseline.json"
+        bench_to_json(payload, path)
+        # Deterministic metrics: a re-run at the same scale produces the
+        # same work counters, so the gate passes against itself.
+        rerun = bench.run_suite(scale=0.15)
+        for name, scenario in rerun["scenarios"].items():
+            assert scenario["work"] == \
+                payload["scenarios"][name]["work"], name
+        baseline = load_bench_json(path)
+        for scenario in baseline["scenarios"].values():
+            # Millisecond-long tiny-scale runs make wall scores pure
+            # noise; gate on the deterministic counters only.
+            scenario["score"] = 0.0
+        assert compare_benchmarks(rerun, baseline, tolerance=0.25) == []
+
+    def test_committed_baseline_is_loadable(self):
+        baseline = load_bench_json(REPO_ROOT / "BENCH_engine.json")
+        assert baseline["suite"] == "hotpath"
+        assert baseline["scenarios"]
