@@ -50,15 +50,25 @@ def run_modes(computation_factory: Callable[[], GraphComputation],
               collection: MaterializedCollection,
               modes: Sequence[ExecutionMode] = ALL_MODES,
               workers: int = 1, batch_size: int = 10,
-              cost_metric: str = "work"
+              cost_metric: str = "work", trace: bool = False
               ) -> Dict[ExecutionMode, CollectionRunResult]:
     """Run one computation over one collection under several modes.
 
-    A fresh computation instance per mode keeps runs independent.
+    A fresh computation instance per mode keeps runs independent. With
+    ``trace=True``, each mode runs under its own
+    :class:`repro.observe.TraceSink`, so every result carries per-view
+    critical-path profiles (``result.profile``) — the work/parallel-time
+    counters are unchanged by tracing.
     """
-    executor = AnalyticsExecutor(workers=workers)
     results: Dict[ExecutionMode, CollectionRunResult] = {}
     for mode in modes:
+        if trace:
+            from repro.observe import TraceSink
+
+            executor = AnalyticsExecutor(workers=workers,
+                                         tracer=TraceSink(workers))
+        else:
+            executor = AnalyticsExecutor(workers=workers)
         computation = computation_factory()
         results[mode] = executor.run_on_collection(
             computation, collection, mode=mode, batch_size=batch_size,
@@ -71,6 +81,11 @@ def to_rows(results: Dict[ExecutionMode, CollectionRunResult],
             ) -> List[ExperimentResult]:
     rows = []
     for mode, result in results.items():
+        extra: Dict[str, object] = {}
+        profile = getattr(result, "profile", None)
+        if profile is not None and (slowest := profile.slowest()) is not None:
+            extra["slowest_view"] = slowest.view_name
+            extra["slowest_critical_path"] = slowest.critical_path.length
         rows.append(ExperimentResult(
             experiment=experiment,
             dataset=dataset,
@@ -82,6 +97,7 @@ def to_rows(results: Dict[ExecutionMode, CollectionRunResult],
             work=result.total_work,
             parallel_time=result.total_parallel_time,
             splits=len(result.split_points),
+            extra=extra,
         ))
     return rows
 

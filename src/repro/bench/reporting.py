@@ -86,6 +86,54 @@ def save_report(rows: Iterable[ExperimentResult], directory: PathLike,
         to_markdown(rows, title=name) + "\n")
 
 
+# -- per-view profile summaries (traced runs) ---------------------------------
+
+_PROFILE_FIELDS = ["view", "strategy", "work", "parallel_time",
+                   "critical_path", "supersteps", "top_contributor"]
+
+
+def profile_rows(result) -> List[Dict[str, object]]:
+    """Per-view profile summary rows for a traced collection run.
+
+    ``result`` is a ``CollectionRunResult`` produced with tracing enabled
+    (``AnalyticsExecutor(tracer=...)`` / ``Graphsurge.profile``); views
+    without a profile (e.g. restored from a checkpoint) are skipped.
+    """
+    rows: List[Dict[str, object]] = []
+    for view in result.views:
+        profile = getattr(view, "profile", None)
+        if profile is None:
+            continue
+        path = profile.critical_path
+        top = path.contributors[0] if path.contributors else None
+        rows.append({
+            "view": view.view_name,
+            "strategy": view.strategy.value,
+            "work": view.work,
+            "parallel_time": view.parallel_time,
+            "critical_path": path.length,
+            "supersteps": path.supersteps,
+            "top_contributor": (
+                f"{top.operator}@{top.epoch} ({top.units})" if top else ""),
+        })
+    return rows
+
+
+def profiles_to_markdown(result, title: str = "") -> str:
+    """Render a traced run's per-view critical paths as a Markdown table."""
+    rows = profile_rows(result)
+    lines: List[str] = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(_PROFILE_FIELDS) + " |")
+    lines.append("|" + "|".join("---" for _ in _PROFILE_FIELDS) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(row[field])
+                                       for field in _PROFILE_FIELDS) + " |")
+    return "\n".join(lines)
+
+
 # -- benchmark-baseline JSON (the hot-path regression gate) -------------------
 
 #: Schema version of the benchmark-baseline files. Bump when the payload
@@ -102,9 +150,15 @@ def bench_to_json(payload: Dict[str, object], path: PathLike) -> None:
         {"suite": "hotpath", "schema": 1, "calibration_seconds": 0.12,
          "scenarios": {"join_heavy": {"wall_seconds": ..., "score": ...,
                                       "work": ..., "parallel_time": ...}}}
+
+    The write is atomic (temp file + ``os.replace``), so a crash or an
+    interrupted ``--update-baseline`` run never leaves a torn baseline
+    behind for the gate to choke on.
     """
-    path = Path(path)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    from repro.core.persistence import atomic_write_text
+
+    atomic_write_text(
+        Path(path), json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def load_bench_json(path: PathLike) -> Dict[str, object]:
@@ -133,8 +187,13 @@ def compare_benchmarks(current: Dict[str, object],
     A scenario regresses when its score or work exceeds the baseline by
     more than ``tolerance`` (fractional, e.g. ``0.25`` = 25%). Missing
     scenarios are regressions too — a gate that silently stops measuring
-    is not a gate. Returns human-readable regression messages (empty =
-    pass).
+    is not a gate — and so are scenarios present in the current run but
+    absent from the baseline: an unbaselined scenario is unguarded until
+    someone reruns ``--update-baseline``, and the gate must say so rather
+    than silently pass it. A zero or near-zero baseline value (below
+    ``1e-9``) cannot anchor a meaningful ratio, so it is reported as a
+    problem instead of being skipped or dividing to ``inf``. Returns
+    human-readable problem messages (empty = pass).
     """
     problems: List[str] = []
     base_scenarios = baseline.get("scenarios", {})
@@ -147,7 +206,13 @@ def compare_benchmarks(current: Dict[str, object],
         for metric in ("score", "work"):
             base_value = base.get(metric)
             cur_value = cur.get(metric)
-            if not base_value:
+            if base_value is None or cur_value is None:
+                continue
+            if not base_value > 1e-9:
+                problems.append(
+                    f"{name}: baseline {metric} is {base_value!r}; a zero "
+                    f"or near-zero baseline cannot gate regressions — "
+                    f"re-record it with --update-baseline")
                 continue
             ratio = cur_value / base_value
             if ratio > 1.0 + tolerance:
@@ -155,4 +220,8 @@ def compare_benchmarks(current: Dict[str, object],
                     f"{name}: {metric} regressed {ratio:.2f}x "
                     f"({base_value:g} -> {cur_value:g}, "
                     f"tolerance {tolerance:.0%})")
+    for name in sorted(set(cur_scenarios) - set(base_scenarios)):
+        problems.append(
+            f"{name}: scenario has no baseline entry — run "
+            f"--update-baseline to start gating it")
     return problems

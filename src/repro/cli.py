@@ -14,6 +14,9 @@ Subcommands:
 * ``gvdl``  — execute GVDL statements (from --gvdl files or --execute text)
   and report what was created.
 * ``run``   — run a named computation on a graph, view, or collection.
+* ``profile`` — run a computation traced and print the per-view
+  critical-path report (``--trace-out`` writes a Chrome trace-event JSON
+  loadable at chrome://tracing; see docs/observability.md).
 * ``info``  — describe the session's graphs, views, and collections.
 
 Computations: wcc, scc, bfs, bf (Bellman-Ford), pagerank, mpsp, kcore,
@@ -108,26 +111,32 @@ def build_parser() -> argparse.ArgumentParser:
     info = subcommands.add_parser("info", help="describe the session")
     del info
 
+    def add_computation_args(sub) -> None:
+        sub.add_argument("computation",
+                         help="wcc|scc|bfs|bf|pagerank|mpsp|kcore|"
+                              "triangles|degrees|maxdegree")
+        sub.add_argument("target", help="graph, view, or collection name")
+        sub.add_argument("--mode", default="adaptive",
+                         choices=[m.value for m in ExecutionMode],
+                         help="execution policy for collections")
+        sub.add_argument("--batch-size", type=int, default=10,
+                         help="adaptive splitting batch size (default 10)")
+        sub.add_argument("--source", type=int, default=None,
+                         help="source vertex for bfs/bf")
+        sub.add_argument("--iterations", type=int, default=10,
+                         help="pagerank iterations (default 10)")
+        sub.add_argument("--k", type=int, default=2,
+                         help="k for kcore (default 2)")
+        sub.add_argument("--pairs", default=None,
+                         help="mpsp pairs as src:dst,src:dst,...")
+
     run = subcommands.add_parser("run", help="run a computation")
-    run.add_argument("computation",
-                     help="wcc|scc|bfs|bf|pagerank|mpsp|kcore|triangles|"
-                          "degrees|maxdegree")
-    run.add_argument("target", help="graph, view, or collection name")
-    run.add_argument("--mode", default="adaptive",
-                     choices=[m.value for m in ExecutionMode],
-                     help="execution policy for collections")
-    run.add_argument("--batch-size", type=int, default=10,
-                     help="adaptive splitting batch size (default 10)")
-    run.add_argument("--source", type=int, default=None,
-                     help="source vertex for bfs/bf")
-    run.add_argument("--iterations", type=int, default=10,
-                     help="pagerank iterations (default 10)")
-    run.add_argument("--k", type=int, default=2,
-                     help="k for kcore (default 2)")
-    run.add_argument("--pairs", default=None,
-                     help="mpsp pairs as src:dst,src:dst,...")
+    add_computation_args(run)
     run.add_argument("--out", default=None, metavar="FILE",
                      help="write per-view results to a CSV file")
+    run.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="trace the run and write a Chrome trace-event "
+                          "JSON (load at chrome://tracing)")
     run.add_argument("--checkpoint", default=None, metavar="FILE",
                      help="journal each completed view to a resumable "
                           "checkpoint file")
@@ -149,6 +158,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--retry-backoff", type=float, default=0.5,
                      help="seconds before the first retry, doubled each "
                           "further retry (default 0.5)")
+
+    profile = subcommands.add_parser(
+        "profile", help="run a computation traced; print the per-view "
+                        "critical-path report")
+    add_computation_args(profile)
+    profile.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="also write a Chrome trace-event JSON "
+                              "(load at chrome://tracing)")
+    profile.add_argument("--top", type=int, default=3,
+                         help="critical-path contributors shown per view "
+                              "(default 3)")
+    profile.add_argument("--flame-top", type=int, default=10,
+                         help="operators shown in the work rollup "
+                              "(default 10)")
 
     gvdl = subcommands.add_parser(
         "gvdl", help="only execute the --gvdl/--execute statements")
@@ -230,11 +253,16 @@ def _run(session: Graphsurge, args: argparse.Namespace) -> None:
     computation = build_computation(args.computation, args)
     budget, retry_policy, checkpoint_path, resume_from = \
         _build_resilience(args)
+    tracer = None
+    if args.trace_out:
+        from repro.observe import TraceSink
+
+        tracer = TraceSink(session.workers)
     result = session.run_analytics(
         computation, args.target, mode=ExecutionMode(args.mode),
         batch_size=args.batch_size, keep_outputs=bool(args.out),
         checkpoint_path=checkpoint_path, resume_from=resume_from,
-        budget=budget, retry_policy=retry_policy)
+        budget=budget, retry_policy=retry_policy, tracer=tracer)
     if isinstance(result, CollectionRunResult):
         resumed = (f", resumed at view {result.resumed_views}"
                    if result.resumed_views else "")
@@ -269,6 +297,25 @@ def _run(session: Graphsurge, args: argparse.Namespace) -> None:
                         result.output.items(), key=repr):
                     writer.writerow([vertex, value])
             print(f"wrote {args.out}")
+    if tracer is not None:
+        from repro.observe import write_chrome_trace
+
+        write_chrome_trace(tracer.steps, args.trace_out,
+                           workers=tracer.workers)
+        print(f"wrote Chrome trace to {args.trace_out} "
+              f"({len(tracer.steps)} steps, {tracer.total_units} units)")
+
+
+def _profile(session: Graphsurge, args: argparse.Namespace) -> None:
+    computation = build_computation(args.computation, args)
+    report = session.profile(
+        computation, args.target, mode=ExecutionMode(args.mode),
+        batch_size=args.batch_size, trace_out=args.trace_out)
+    print(report.render(top=args.top, flame_top=args.flame_top))
+    if args.trace_out:
+        print(f"wrote Chrome trace to {args.trace_out} "
+              f"({len(report.sink.steps)} steps, "
+              f"{report.sink.total_units} units)")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -280,6 +327,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _print_info(session)
         elif args.command == "run":
             _run(session, args)
+        elif args.command == "profile":
+            _profile(session, args)
         elif args.command in (None, "gvdl"):
             pass
     except (GraphsurgeError, OSError) as error:

@@ -22,12 +22,25 @@ class CheckpointStatus:
     total_views: int
     last_view_name: Optional[str]
     truncated: bool
+    #: The journal exists but could not be read (bad header, checksum
+    #: mismatch beyond a torn tail, wrong format). A corrupt journal is
+    #: not resumable, but — unlike an absent one — the user should know
+    #: it is there and broken rather than silently see "no checkpoint".
+    corrupt: bool = False
+    error: Optional[str] = None
 
     @property
     def resumable(self) -> bool:
+        if self.corrupt:
+            return False
         return 0 < self.completed_views < self.total_views
 
     def render(self) -> str:
+        if self.corrupt:
+            detail = f": {self.error}" if self.error else ""
+            return (f"checkpoint: WARNING - journal at {self.path} is "
+                    f"corrupt and cannot be resumed{detail}; delete it "
+                    f"(or pass a fresh path) to start over")
         if self.completed_views >= self.total_views:
             return (f"checkpoint: complete ({self.completed_views}/"
                     f"{self.total_views} views) at {self.path}")
@@ -39,15 +52,43 @@ class CheckpointStatus:
 
 
 def checkpoint_status(checkpoint_path) -> Optional[CheckpointStatus]:
-    """Inspect a run checkpoint journal (``None`` if absent/unreadable)."""
+    """Inspect a run checkpoint journal.
+
+    Returns ``None`` only when no journal exists at the path. A journal
+    that exists but cannot be read (corrupt header, checksum failure)
+    yields a status with ``corrupt=True`` carrying the error message —
+    conflating the two previously made a damaged checkpoint look like a
+    clean slate, so ``explain()`` would happily suggest starting over
+    without warning that prior progress was lost to corruption.
+    """
+    from pathlib import Path
+
     from repro.core.resilience import load_checkpoint
     from repro.errors import CheckpointError
 
+    def corrupt(message: str) -> CheckpointStatus:
+        return CheckpointStatus(
+            path=str(checkpoint_path),
+            completed_views=0,
+            total_views=0,
+            last_view_name=None,
+            truncated=False,
+            corrupt=True,
+            error=message,
+        )
+
+    exists = Path(checkpoint_path).exists()
     try:
         state = load_checkpoint(checkpoint_path)
-    except CheckpointError:
-        return None
+    except CheckpointError as error:
+        return corrupt(str(error))
     if state is None:
+        if exists:
+            # load_checkpoint treats a journal with no trustworthy record
+            # at all as "no checkpoint"; for diagnostics the distinction
+            # matters — the file is there, so something wrote (and lost)
+            # a run's progress.
+            return corrupt("no trustworthy record survives in the journal")
         return None
     return CheckpointStatus(
         path=state.path,
@@ -80,6 +121,10 @@ class CollectionSummary:
     #: supplied. Makes trace-memory growth — and the saving from shared
     #: arrangements — visible from the CLI.
     trace_memory: Optional[Dict[str, int]] = None
+    #: Per-view critical-path profiles (``CollectionRunResult.profile``)
+    #: when the supplied run was traced; lets ``explain()`` answer "why is
+    #: view k slow" directly.
+    profile: Optional[object] = None
 
     @property
     def mean_churn(self) -> float:
@@ -125,6 +170,17 @@ class CollectionSummary:
             for name, entries in top:
                 if entries:
                     lines.append(f"  {name}: {entries}")
+        if self.profile is not None:
+            slowest = self.profile.slowest()
+            if slowest is not None:
+                lines.append(
+                    f"slowest view: {slowest.view_name!r} "
+                    f"(critical path {slowest.critical_path.length} units "
+                    f"over {slowest.critical_path.supersteps} supersteps)")
+                for contributor in slowest.critical_path.top(3):
+                    lines.append(
+                        f"  {contributor.operator} @ epoch "
+                        f"{contributor.epoch}: {contributor.units} units")
         return "\n".join(lines)
 
 
@@ -162,4 +218,6 @@ def summarize_collection(collection: MaterializedCollection,
                     if checkpoint_path is not None else None),
         trace_memory=(run_result.trace_memory
                       if run_result is not None else None),
+        profile=(getattr(run_result, "profile", None)
+                 if run_result is not None else None),
     )

@@ -38,6 +38,9 @@ from repro.core.resilience import (
 )
 from repro.core.splitting.optimizer import AdaptiveSplitter, SplitDecision
 from repro.core.view_collection import MaterializedCollection
+from repro.observe.profile import CollectionProfile, ViewProfile, \
+    profile_view
+from repro.observe.tracer import TraceSink
 from repro.differential.dataflow import Dataflow
 from repro.differential.multiset import Diff
 from repro.differential.operators.io import CaptureOp
@@ -71,6 +74,10 @@ class ViewRunResult:
     #: stream — its "difference" is its full output, not a delta against
     #: the previous view.
     output_diff: Optional[Diff] = field(default=None, repr=False)
+    #: Where this view's simulated time went, when the run was traced
+    #: (see :mod:`repro.observe`): the critical path over the view's
+    #: supersteps, whose length equals ``parallel_time`` exactly.
+    profile: Optional["ViewProfile"] = field(default=None, repr=False)
     #: How many execution attempts this view took (1 = first try).
     attempts: int = 1
     #: True when the view was planned differential but degraded to a
@@ -115,6 +122,9 @@ class CollectionRunResult:
     #: arrangements counted once, at their ArrangeOp). Shows trace-memory
     #: growth and the arrangement-sharing saving; feeds ``explain``.
     trace_memory: Optional[Dict[str, int]] = None
+    #: Per-view critical-path profiles when the run was traced
+    #: (``AnalyticsExecutor(tracer=...)``); ``None`` otherwise.
+    profile: Optional["CollectionProfile"] = None
 
     def strategy_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -129,10 +139,18 @@ class CollectionRunResult:
 
 
 class AnalyticsExecutor:
-    """Drives computations over single views and view collections."""
+    """Drives computations over single views and view collections.
 
-    def __init__(self, workers: int = 1):
+    Pass ``tracer=TraceSink(workers)`` to record the activity stream of
+    every run (see :mod:`repro.observe`): each view's ``ViewRunResult``
+    then carries a critical-path profile and the collection result a
+    ``CollectionProfile``. Tracing never changes the metered counters.
+    """
+
+    def __init__(self, workers: int = 1,
+                 tracer: Optional[TraceSink] = None):
         self.workers = workers
+        self.tracer = tracer
 
     # -- single views -----------------------------------------------------------
 
@@ -147,11 +165,16 @@ class AnalyticsExecutor:
                                                  fault_plan)
         started = time.perf_counter()
         before = dataflow.meter.snapshot()
+        mark = self.tracer.mark() if self.tracer is not None else 0
         diff = edges.as_input_diff(directed=computation.directed)
         epoch = dataflow.step({"edges": diff})
         after = dataflow.meter.snapshot()
         spent = before.delta(after)
         output = capture.value_at_epoch(epoch)
+        profile = None
+        if self.tracer is not None:
+            profile = profile_view(self.tracer, view_name, mark,
+                                   self.tracer.mark())
         return ViewRunResult(
             view_name=view_name,
             strategy=SplitDecision.SCRATCH,
@@ -162,6 +185,7 @@ class AnalyticsExecutor:
             diff_size=len(edges),
             output_diff_size=len(output),
             output=output if keep_output else None,
+            profile=profile,
         )
 
     # -- collections --------------------------------------------------------------
@@ -306,6 +330,10 @@ class AnalyticsExecutor:
             from repro.differential.debug import operator_record_counts
 
             trace_memory = operator_record_counts(dataflow)
+        profile = None
+        if self.tracer is not None:
+            profile = CollectionProfile(
+                views=[r.profile for r in results if r.profile is not None])
         return CollectionRunResult(
             computation=computation.name,
             collection=collection.name,
@@ -317,6 +345,7 @@ class AnalyticsExecutor:
             split_points=split_points,
             resumed_views=start_index,
             trace_memory=trace_memory,
+            profile=profile,
         )
 
     # -- per-view execution with recovery ---------------------------------------
@@ -395,11 +424,17 @@ class AnalyticsExecutor:
             feed = collection.input_diff_for_view(
                 index, directed=computation.directed)
         before = dataflow.meter.snapshot()
+        mark = self.tracer.mark() if self.tracer is not None else 0
         epoch = dataflow.step({"edges": feed})
         after = dataflow.meter.snapshot()
         spent = before.delta(after)
         assert capture is not None
         output_diff = capture.diff_at((epoch,))
+        profile = None
+        if self.tracer is not None:
+            profile = profile_view(self.tracer,
+                                   collection.view_names[index], mark,
+                                   self.tracer.mark())
         result = ViewRunResult(
             view_name=collection.view_names[index],
             strategy=strategy,
@@ -412,6 +447,7 @@ class AnalyticsExecutor:
             output=(capture.value_at_epoch(epoch)
                     if keep_outputs else None),
             output_diff=(output_diff if keep_output_diffs else None),
+            profile=profile,
         )
         return result, dataflow, capture
 
@@ -511,7 +547,7 @@ class AnalyticsExecutor:
                         budget: Optional[RunBudget] = None,
                         fault_plan: Optional[FaultPlan] = None):
         dataflow = Dataflow(workers=self.workers, budget=budget,
-                            fault_plan=fault_plan)
+                            fault_plan=fault_plan, tracer=self.tracer)
         edges = dataflow.new_input("edges")
         result = computation.build(dataflow, edges)
         if result.scope is not dataflow.root:

@@ -39,6 +39,30 @@ _FORMAT_VERSION = 2
 _GZIP_MAGIC = b"\x1f\x8b"
 
 
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lives in the target directory so the replace never
+    crosses filesystems; a crash mid-write leaves the old file intact and
+    never a half-written new one. Shared by collection persistence, the
+    benchmark-baseline writer, and the Chrome-trace exporter.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed replace
+            tmp.unlink()
+
+
+def atomic_write_text(path: PathLike, text: str,
+                      encoding: str = "utf-8") -> None:
+    """Text-mode convenience wrapper around :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
 def _canonical_payload(payload: dict) -> bytes:
     return json.dumps(payload, sort_keys=True,
                       separators=(",", ":")).encode("utf-8")
@@ -88,13 +112,7 @@ def save_collection(collection: MaterializedCollection,
     data = json.dumps(envelope).encode("utf-8")
     if compress:
         data = gzip.compress(data)
-    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
-    try:
-        tmp.write_bytes(data)
-        os.replace(tmp, path)
-    finally:
-        if tmp.exists():  # pragma: no cover - only on a failed replace
-            tmp.unlink()
+    atomic_write_bytes(path, data)
 
 
 def load_collection(path: PathLike) -> MaterializedCollection:

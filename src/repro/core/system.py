@@ -204,24 +204,59 @@ class Graphsurge:
                       checkpoint_path=None,
                       resume_from=None,
                       budget=None,
-                      retry_policy=None
+                      retry_policy=None,
+                      tracer=None
                       ) -> Union[ViewRunResult, CollectionRunResult]:
         """Run a computation on a view, base graph, or view collection.
 
         The resilience options (``checkpoint_path``, ``resume_from``,
         ``budget``, ``retry_policy`` — see :mod:`repro.core.resilience`)
         apply to collection runs; ``budget`` also guards single-view runs.
+        With ``tracer`` (a :class:`repro.observe.TraceSink`) the run is
+        traced: per-view critical-path profiles are attached to the
+        result, and the sink holds the exportable span stream. Tracing
+        never changes the metered cost counters.
         """
+        executor = self.executor
+        if tracer is not None:
+            executor = AnalyticsExecutor(workers=self.workers,
+                                         tracer=tracer)
         if self.views.has_collection(target):
             collection: MaterializedCollection = \
                 self.views.get_collection(target)
-            return self.executor.run_on_collection(
+            return executor.run_on_collection(
                 computation, collection, mode=mode, batch_size=batch_size,
                 keep_outputs=keep_outputs, cost_metric=cost_metric,
                 checkpoint_path=checkpoint_path, resume_from=resume_from,
                 budget=budget, retry_policy=retry_policy)
         graph = self.resolve(target)
         edges = EdgeStream.from_graph(graph, weight=self.weight_property)
-        return self.executor.run_on_view(computation, edges,
-                                         keep_output=True,
-                                         view_name=target, budget=budget)
+        return executor.run_on_view(computation, edges,
+                                    keep_output=True,
+                                    view_name=target, budget=budget)
+
+    def profile(self, computation: GraphComputation, target: str,
+                mode: ExecutionMode = ExecutionMode.ADAPTIVE,
+                batch_size: int = 10,
+                cost_metric: str = "wall",
+                trace_out=None):
+        """Run a computation traced; answer "why is view k slow".
+
+        Returns a :class:`repro.observe.ProfileReport`: the run result
+        (with per-view critical-path profiles attached), ``render()`` for
+        the text report, ``chrome_trace()``/``write_chrome_trace(path)``
+        for a ``chrome://tracing``-loadable timeline, and ``flame()`` for
+        a text rollup. ``trace_out`` writes the Chrome trace as part of
+        the call. The metered ``total_work``/``parallel_time`` are
+        byte-identical to an untraced run.
+        """
+        from repro.observe import ProfileReport, TraceSink
+
+        sink = TraceSink(self.workers)
+        result = self.run_analytics(
+            computation, target, mode=mode, batch_size=batch_size,
+            cost_metric=cost_metric, tracer=sink)
+        report = ProfileReport(result=result, sink=sink, target=target)
+        if trace_out is not None:
+            report.write_chrome_trace(trace_out)
+        return report

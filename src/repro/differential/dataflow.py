@@ -65,9 +65,18 @@ class Dataflow:
     """An executable differential dataflow."""
 
     def __init__(self, workers: int = 1, meter: Optional[WorkMeter] = None,
-                 budget=None, fault_plan=None):
+                 budget=None, fault_plan=None, tracer=None):
         self.meter = (meter if meter is not None
-                      else WorkMeter(workers, fault_plan=fault_plan))
+                      else WorkMeter(workers, fault_plan=fault_plan,
+                                     tracer=tracer))
+        if tracer is not None:
+            self.meter.tracer = tracer
+        #: Optional :class:`repro.observe.tracer.TraceSink`. When set, the
+        #: scope drivers and :meth:`Operator.send` bracket every operator
+        #: apply with an attribution context; when ``None`` every hook is
+        #: a single ``is None`` test and the engine behaves identically.
+        self.tracer = (tracer if tracer is not None
+                       else getattr(self.meter, "tracer", None))
         #: Optional :class:`repro.core.resilience.RunBudget`; shared across
         #: dataflow restarts by the executor, so work charged here
         #: accumulates over a whole collection run.
@@ -156,12 +165,20 @@ class Dataflow:
         self._frozen = True
         self.epoch += 1
         time = (self.epoch,)
+        tracer = self.tracer
         if input_diffs:
             for name, diff in input_diffs.items():
                 op = self.inputs.get(name)
                 if op is None:
                     raise DataflowError(f"unknown input {name!r}")
-                op.push(time, diff)
+                if tracer is not None:
+                    tracer.enter_operator(op.name, op.scope.depth, time)
+                    try:
+                        op.push(time, diff)
+                    finally:
+                        tracer.exit_operator()
+                else:
+                    op.push(time, diff)
         root_ops = self._ops_by_scope[self.root]
         subtree = self.scope_subtree_ops(self.root)
         max_passes = 4 * len(subtree) + 8
@@ -171,8 +188,16 @@ class Dataflow:
             # data-parallel and synchronize at its end. Nested loop passes
             # (inside IterateOp.flush) open their own superstep frames.
             self.meter.begin_step()
-            for op in root_ops:
-                op.flush(time)
+            if tracer is None:
+                for op in root_ops:
+                    op.flush(time)
+            else:
+                for op in root_ops:
+                    tracer.enter_operator(op.name, op.scope.depth, time)
+                    try:
+                        op.flush(time)
+                    finally:
+                        tracer.exit_operator()
             self.meter.end_step()
             self.enforce_budget(f"epoch {self.epoch}")
             if not self._has_pending(subtree, time):

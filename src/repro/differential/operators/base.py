@@ -43,8 +43,19 @@ class Operator:
         """Push a consolidated difference to all downstream consumers."""
         if not diff:
             return
+        tracer = self.dataflow.tracer
+        if tracer is None:
+            for op, port in self.downstream:
+                op.on_delta(port, time, diff)
+            return
+        # Traced run: work metered inside a consumer's on_delta belongs to
+        # that consumer — bracket each delivery with its context.
         for op, port in self.downstream:
-            op.on_delta(port, time, diff)
+            tracer.enter_operator(op.name, op.scope.depth, time)
+            try:
+                op.on_delta(port, time, diff)
+            finally:
+                tracer.exit_operator()
 
     def on_delta(self, port: int, time: Time, diff: Diff) -> None:
         raise NotImplementedError

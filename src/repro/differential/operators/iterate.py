@@ -228,6 +228,7 @@ class IterateOp(Operator):
         limit = self.max_iters if self.max_iters is not None else SAFETY_MAX_ITERS
         subtree = self._subtree_ops()
         meter = self.dataflow.meter
+        tracer = self.dataflow.tracer
         iteration = 0
         passes_at_same = 0
         while True:
@@ -235,9 +236,18 @@ class IterateOp(Operator):
             # One loop iteration pass = one superstep (nested loops open
             # their own frames inside).
             meter.begin_step()
-            for op in subtree:
-                if op.scope is self.child_scope:
-                    op.flush(t)
+            if tracer is None:
+                for op in subtree:
+                    if op.scope is self.child_scope:
+                        op.flush(t)
+            else:
+                for op in subtree:
+                    if op.scope is self.child_scope:
+                        tracer.enter_operator(op.name, op.scope.depth, t)
+                        try:
+                            op.flush(t)
+                        finally:
+                            tracer.exit_operator()
             meter.end_step()
             # Run guards: a non-converging loop must raise a structured
             # error (with the iteration reached) instead of spinning to the

@@ -1,0 +1,60 @@
+"""Structured tracing and critical-path profiling for the engine.
+
+``repro.observe`` answers *where* differential computation spends its work
+across a view collection. The engine's cost model already reports
+end-of-run aggregates (``total_work``, ``parallel_time``); this package
+records the activity stream behind those numbers — one span per
+(operator, scope, timestamp, worker shard) — and computes the critical
+path that actually determines a W-worker cluster's simulated elapsed
+time.
+
+Layers:
+
+* :class:`TraceSink` — zero-overhead-when-disabled recorder hooked into
+  ``Dataflow.step``/``iterate`` scope passes, ``WorkMeter`` superstep
+  frames, and every operator apply.
+* :mod:`repro.observe.critical_path` — stitches per-superstep max-work
+  workers into a per-view critical path whose length equals the meter's
+  ``parallel_time`` delta for that view *exactly*.
+* :mod:`repro.observe.export` — Chrome trace-event JSON
+  (``chrome://tracing``-loadable) and a text flamegraph-style rollup.
+* :mod:`repro.observe.profile` — per-view/collection profile summaries
+  and the report object returned by ``Graphsurge.profile``.
+
+See ``docs/observability.md`` for the trace schema and semantics.
+"""
+
+from repro.observe.critical_path import (
+    CriticalPathReport,
+    PathContributor,
+    critical_path,
+)
+from repro.observe.export import (
+    chrome_trace,
+    flame_rollup,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.observe.profile import (
+    CollectionProfile,
+    ProfileReport,
+    ViewProfile,
+)
+from repro.observe.tracer import UNTRACKED, SpanEvent, StepRecord, TraceSink
+
+__all__ = [
+    "CollectionProfile",
+    "UNTRACKED",
+    "CriticalPathReport",
+    "PathContributor",
+    "ProfileReport",
+    "SpanEvent",
+    "StepRecord",
+    "TraceSink",
+    "ViewProfile",
+    "chrome_trace",
+    "critical_path",
+    "flame_rollup",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

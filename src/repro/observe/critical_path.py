@@ -1,0 +1,110 @@
+"""Critical-path analysis over the simulated worker timeline.
+
+The engine's ``parallel_time`` is Σ over supersteps of the maximum
+per-worker work in that superstep — the cost model of a W-worker timely
+cluster, where every superstep ends in a barrier and the slowest worker
+determines when the barrier falls. The *critical path* makes that number
+explainable: for every superstep the max-work worker is the critical
+worker; stitching those segments (plus any serial, out-of-frame work,
+which every worker waits on) across a view's supersteps yields a path
+whose total length equals the meter's ``parallel_time`` delta for that
+view **exactly**. Attributing each segment's units to the operator and
+epoch that performed them answers "why is view k slow" instead of just
+"view k cost X".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.observe.tracer import StepRecord
+
+
+@dataclass(frozen=True)
+class PathContributor:
+    """Units an (operator, epoch) pair placed on the critical path."""
+
+    operator: str
+    epoch: Optional[int]
+    units: int
+
+
+@dataclass
+class CriticalPathReport:
+    """The critical path of one traced window (typically one view)."""
+
+    view_name: str
+    #: Total path length; equals the meter's ``parallel_time`` delta over
+    #: the same window.
+    length: int
+    #: Number of parallel supersteps on the path.
+    supersteps: int
+    #: Units of serial (outside-any-superstep) work on the path.
+    serial_units: int
+    #: Per-(operator, epoch) units on the path, largest first. Their sum
+    #: equals ``length``.
+    contributors: List[PathContributor]
+
+    def top(self, n: int = 5) -> List[PathContributor]:
+        return self.contributors[:n]
+
+    def render(self, top: int = 5) -> str:
+        serial = (f" (+{self.serial_units} serial)"
+                  if self.serial_units else "")
+        lines = [
+            f"critical path for {self.view_name!r}: {self.length} units "
+            f"over {self.supersteps} supersteps{serial}"
+        ]
+        for item in self.top(top):
+            share = (100.0 * item.units / self.length) if self.length else 0.0
+            where = (f"epoch {item.epoch}" if item.epoch is not None
+                     else "untimed")
+            lines.append(f"  {item.operator} @ {where}: {item.units} "
+                         f"({share:.1f}%)")
+        return "\n".join(lines)
+
+
+def critical_path(steps: Sequence[StepRecord],
+                  view_name: str = "view") -> CriticalPathReport:
+    """Stitch a window of step records into its critical path.
+
+    For each parallel superstep only the critical worker's spans are on
+    the path (lowest worker id on ties — the same value ``max`` picks in
+    the meter); serial records contribute all their spans, since serial
+    work delays every worker.
+    """
+    length = 0
+    supersteps = 0
+    serial_units = 0
+    units_by: Dict[Tuple[str, Optional[int]], int] = {}
+    for step in steps:
+        contribution = step.critical_units
+        if not contribution:
+            continue
+        length += contribution
+        if step.kind == "serial":
+            serial_units += contribution
+            on_path = step.op_units.items()
+        else:
+            supersteps += 1
+            critical = step.critical_worker
+            on_path = [(span, units)
+                       for span, units in step.op_units.items()
+                       if span[2] == critical]
+        for (operator, time, _worker), units in on_path:
+            slot = (operator, time[0] if time else None)
+            units_by[slot] = units_by.get(slot, 0) + units
+    contributors = [
+        PathContributor(operator=operator, epoch=epoch, units=units)
+        for (operator, epoch), units in units_by.items()
+    ]
+    contributors.sort(key=lambda c: (-c.units, c.operator,
+                                     -1 if c.epoch is None else c.epoch))
+    return CriticalPathReport(
+        view_name=view_name,
+        length=length,
+        supersteps=supersteps,
+        serial_units=serial_units,
+        contributors=contributors,
+    )

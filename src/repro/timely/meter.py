@@ -55,7 +55,7 @@ class WorkMeter:
         meter.end_step()
     """
 
-    def __init__(self, workers: int = 1, fault_plan=None):
+    def __init__(self, workers: int = 1, fault_plan=None, tracer=None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
@@ -64,6 +64,11 @@ class WorkMeter:
         #: the middle of an operator's apply — the nastiest crash point,
         #: since it leaves the dataflow's traces half-updated.
         self.fault_plan = fault_plan
+        #: Optional :class:`repro.observe.tracer.TraceSink`. The sink only
+        #: observes — worker sharding, unit counts, and superstep frames
+        #: are computed identically with or without it, so ``total_work``
+        #: and ``parallel_time`` are byte-identical either way.
+        self.tracer = tracer
         self.total_work = 0
         self.parallel_time = 0
         self.supersteps = 0
@@ -97,11 +102,15 @@ class WorkMeter:
         else:
             # Work outside any superstep counts as fully serial.
             self.parallel_time += units
+        if self.tracer is not None:
+            self.tracer.record(worker, units, key)
 
     def begin_step(self) -> None:
         """Open a superstep: one data-parallel pass of the dataflow at one
         timestamp (workers synchronize at its end, as in timely)."""
         self._frames.append({})
+        if self.tracer is not None:
+            self.tracer.begin_step()
 
     def end_step(self) -> None:
         if not self._frames:
@@ -110,6 +119,8 @@ class WorkMeter:
         if frame:
             self.parallel_time += max(frame.values())
             self.supersteps += 1
+        if self.tracer is not None:
+            self.tracer.end_step()
 
     def snapshot(self) -> WorkSnapshot:
         """Capture current counters (usable for per-view deltas)."""

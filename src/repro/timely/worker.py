@@ -31,6 +31,13 @@ def stable_hash(value: Any) -> int:
         h ^= h >> 33
         return h
     if isinstance(value, float):
+        # Keys that compare equal must hash equal regardless of numeric
+        # type: a vertex id arriving as 3.0 (e.g. parsed from a weighted
+        # CSV column) must land on the same worker as the int 3, and
+        # -0.0 == 0.0 must not split across shards via their distinct hex
+        # spellings ('-0x0.0p+0' vs '0x0.0p+0').
+        if value.is_integer():
+            return stable_hash(int(value))
         return stable_hash(value.hex())
     if value is None:
         return 0x6A09E667F3BCC908

@@ -85,6 +85,65 @@ class TestRun:
         assert main(argv) == 1
         assert "--pairs" in capsys.readouterr().err
 
+    def test_run_trace_out_writes_valid_chrome_trace(self, graph_files,
+                                                     tmp_path, capsys):
+        import json
+
+        from repro.observe import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        argv = load_args(graph_files) + [
+            "--execute", "create view collection hist on g "
+                         "[a: year <= 2016], [b: year <= 2019]",
+            "run", "wcc", "hist", "--trace-out", str(trace)]
+        assert main(argv) == 0
+        assert "wrote Chrome trace" in capsys.readouterr().out
+        assert validate_chrome_trace(json.loads(trace.read_text())) > 0
+
+    def test_run_without_trace_out_writes_nothing(self, graph_files,
+                                                  tmp_path, capsys):
+        argv = load_args(graph_files) + ["run", "wcc", "g"]
+        assert main(argv) == 0
+        assert "Chrome trace" not in capsys.readouterr().out
+
+
+class TestProfile:
+    def collection_args(self, graph_files):
+        return load_args(graph_files) + [
+            "--execute", "create view collection hist on g "
+                         "[a: year <= 2016], [b: year <= 2019]"]
+
+    def test_profile_collection(self, graph_files, capsys):
+        argv = self.collection_args(graph_files) + ["profile", "wcc", "hist"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "profile of hist: 2 view(s)" in out
+        assert "critical path for 'a'" in out
+        assert "critical path for 'b'" in out
+        assert "work rollup" in out
+
+    def test_profile_trace_out(self, graph_files, tmp_path, capsys):
+        import json
+
+        from repro.observe import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        argv = self.collection_args(graph_files) + [
+            "profile", "wcc", "hist", "--trace-out", str(trace)]
+        assert main(argv) == 0
+        payload = json.loads(trace.read_text())
+        assert validate_chrome_trace(payload) > 0
+        assert payload["otherData"]["parallel_time_units"] > 0
+
+    def test_profile_single_graph(self, graph_files, capsys):
+        argv = load_args(graph_files) + ["profile", "bfs", "g"]
+        assert main(argv) == 0
+        assert "critical path for 'g'" in capsys.readouterr().out
+
+    def test_profile_unknown_target(self, graph_files, capsys):
+        argv = load_args(graph_files) + ["profile", "wcc", "missing"]
+        assert main(argv) == 1
+
 
 class TestComputationFactory:
     def test_all_names_resolve(self):

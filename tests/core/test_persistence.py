@@ -176,3 +176,55 @@ class TestErrors:
         path.write_text('{"format": 2, "sha256": "00"}')
         with pytest.raises(StoreError, match="payload"):
             load_collection(path)
+
+
+class TestAtomicWrite:
+    """The shared atomic-replace helper (temp file + ``os.replace``)."""
+
+    def test_bytes_round_trip(self, tmp_path):
+        from repro.core.persistence import atomic_write_bytes
+
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"payload")
+        assert path.read_bytes() == b"payload"
+
+    def test_text_round_trip(self, tmp_path):
+        from repro.core.persistence import atomic_write_text
+
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "héllo\n")
+        assert path.read_text(encoding="utf-8") == "héllo\n"
+
+    def test_overwrites_existing_file(self, tmp_path):
+        from repro.core.persistence import atomic_write_text
+
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        from repro.core.persistence import atomic_write_text
+
+        atomic_write_text(tmp_path / "out.txt", "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failed_replace_preserves_target(self, tmp_path, monkeypatch):
+        """A crash at replace time must leave the old file untouched and
+        clean up the temp file — never a torn target."""
+        import os as os_module
+
+        import repro.core.persistence as persistence
+
+        path = tmp_path / "out.txt"
+        path.write_text("precious")
+
+        def exploding_replace(src, dst):
+            raise OSError("disk detached")
+
+        monkeypatch.setattr(persistence.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            persistence.atomic_write_text(path, "half-writ")
+        monkeypatch.setattr(persistence.os, "replace", os_module.replace)
+        assert path.read_text() == "precious"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]

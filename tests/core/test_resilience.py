@@ -501,6 +501,33 @@ class TestCheckpointDiagnostics:
         text = summarize_collection(collection).render()
         assert "checkpoint" not in text
 
+    def test_absent_journal_is_none(self, tmp_path):
+        assert checkpoint_status(tmp_path / "never-written.ckpt") is None
+
+    def test_corrupt_journal_is_reported_not_hidden(self, tmp_path):
+        """Regression: ``checkpoint_status`` used to swallow
+        ``CheckpointError`` and return ``None``, making a damaged journal
+        indistinguishable from a clean slate. It must surface as a
+        corrupt (non-resumable) status with a warning render."""
+        path = tmp_path / "run.ckpt"
+        path.write_text("this is not a checkpoint journal\n{torn json")
+        status = checkpoint_status(path)
+        assert status is not None
+        assert status.corrupt
+        assert not status.resumable
+        assert status.error
+        text = status.render()
+        assert "WARNING" in text
+        assert "corrupt" in text
+        assert str(path) in text
+
+    def test_corrupt_journal_warning_in_summary(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_text('{"record": {"type": "header"}, "sha256": "bad"}\n')
+        collection = chain_collection(4)
+        text = summarize_collection(collection, checkpoint_path=path).render()
+        assert "WARNING" in text and "corrupt" in text
+
     def test_explain_via_facade(self, tmp_path, call_graph):
         from repro.core.system import Graphsurge
 

@@ -41,6 +41,29 @@ class TestBaselineJson:
         with pytest.raises(ValueError, match="schema"):
             load_bench_json(path)
 
+    def test_interrupted_write_never_tears_the_baseline(self, tmp_path,
+                                                        monkeypatch):
+        """Regression: ``bench_to_json`` used to write the baseline with a
+        bare ``write_text``, so an interrupted ``--update-baseline`` run
+        could leave a torn JSON file that the gate then chokes on. The
+        write now goes through the atomic-replace helper: a crash mid-
+        write leaves the previous baseline fully loadable."""
+        import repro.core.persistence as persistence
+
+        path = tmp_path / "bench.json"
+        good = _payload(join_heavy=_scenario(10.0, 1000))
+        bench_to_json(good, path)
+
+        def exploding_replace(src, dst):
+            raise OSError("killed mid-update")
+
+        monkeypatch.setattr(persistence.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            bench_to_json(_payload(join_heavy=_scenario(1.0, 1)), path)
+        monkeypatch.undo()
+        assert load_bench_json(path) == good
+        assert compare_benchmarks(good, load_bench_json(path)) == []
+
 
 class TestCompareGate:
     def test_pass_within_tolerance(self):
@@ -67,10 +90,38 @@ class TestCompareGate:
         problems = compare_benchmarks(cur, base)
         assert problems == ["b: scenario missing from current run"]
 
-    def test_improvements_and_new_scenarios_pass(self):
+    def test_improvements_pass(self):
+        base = _payload(a=_scenario(10.0, 1000))
+        cur = _payload(a=_scenario(3.0, 400))
+        assert compare_benchmarks(cur, base) == []
+
+    def test_unbaselined_scenario_is_a_problem(self):
+        # A scenario the current run measures but the baseline does not
+        # is unguarded: the gate used to silently pass it (iterating only
+        # baseline scenarios), so a new benchmark could regress forever
+        # without anyone noticing. It must be reported.
         base = _payload(a=_scenario(10.0, 1000))
         cur = _payload(a=_scenario(3.0, 400), b=_scenario(1.0, 10))
-        assert compare_benchmarks(cur, base) == []
+        problems = compare_benchmarks(cur, base)
+        assert len(problems) == 1
+        assert "b" in problems[0]
+        assert "no baseline entry" in problems[0]
+
+    def test_zero_baseline_is_a_problem_not_a_skip(self):
+        # A zero/near-zero baseline value can't anchor a ratio. The gate
+        # used to `continue` past it, which let any regression through on
+        # that metric; now it demands the baseline be re-recorded.
+        base = _payload(a=_scenario(0.0, 1000))
+        cur = _payload(a=_scenario(50.0, 1000))
+        problems = compare_benchmarks(cur, base)
+        assert len(problems) == 1
+        assert "zero" in problems[0] and "score" in problems[0]
+
+    def test_near_zero_baseline_is_a_problem(self):
+        base = _payload(a=_scenario(1e-12, 1000))
+        cur = _payload(a=_scenario(1e6, 1000))
+        problems = compare_benchmarks(cur, base)
+        assert any("near-zero" in p or "zero" in p for p in problems)
 
 
 def _load_bench_hotpath():
@@ -104,8 +155,10 @@ class TestHotpathSuite:
         baseline = load_bench_json(path)
         for scenario in baseline["scenarios"].values():
             # Millisecond-long tiny-scale runs make wall scores pure
-            # noise; gate on the deterministic counters only.
-            scenario["score"] = 0.0
+            # noise; gate on the deterministic counters only. (A zero
+            # score would be flagged as an unusable baseline, so the
+            # metric is removed rather than zeroed.)
+            del scenario["score"]
         assert compare_benchmarks(rerun, baseline, tolerance=0.25) == []
 
     def test_committed_baseline_is_loadable(self):

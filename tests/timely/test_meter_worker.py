@@ -105,3 +105,97 @@ class TestWorkMeter:
         t1, t4, t8 = run(1), run(4), run(8)
         assert t1 >= t4 >= t8
         assert t1 == 200
+
+
+class TestStableHashFloatCanonicalization:
+    """Regression: keys that compare equal must hash (and shard) equal.
+
+    ``stable_hash`` used to route every float through ``float.hex()``,
+    so ``3.0`` and ``3`` — equal keys in Python — landed on different
+    workers, and ``-0.0`` split from ``0.0`` via its ``'-0x0.0p+0'``
+    spelling. Integral floats now canonicalize to the int path.
+    """
+
+    def test_integral_float_hashes_like_int(self):
+        assert stable_hash(3.0) == stable_hash(3)
+        assert stable_hash(-17.0) == stable_hash(-17)
+        assert stable_hash(0.0) == stable_hash(0)
+
+    def test_negative_zero_hashes_like_zero(self):
+        assert stable_hash(-0.0) == stable_hash(0.0)
+        assert stable_hash(-0.0) == stable_hash(0)
+
+    def test_non_integral_floats_unaffected(self):
+        assert stable_hash(3.5) == stable_hash((3.5).hex())
+        assert stable_hash(3.5) != stable_hash(3)
+
+    def test_nan_and_inf_do_not_crash(self):
+        for value in (float("nan"), float("inf"), float("-inf")):
+            assert 0 <= stable_hash(value) < 2 ** 64
+
+    def test_tuples_with_integral_floats(self):
+        assert stable_hash((1.0, "x")) == stable_hash((1, "x"))
+
+    @given(st.integers(-2 ** 52, 2 ** 52), st.integers(2, 16))
+    def test_equal_keys_shard_together(self, value, workers):
+        assert shard_for(float(value), workers) == shard_for(value, workers)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_float_hash_is_deterministic(self, value):
+        assert stable_hash(value) == stable_hash(value)
+
+
+class TestMeterAttributionMatchesShardFor:
+    """Property: the sink's per-worker attribution is exactly ``shard_for``.
+
+    The meter is the single sharding authority — the trace sink receives
+    the already-sharded worker id, so for every recorded key the units
+    must land on ``shard_for(key, workers)`` and nowhere else, and the
+    sink's frame totals must reproduce the meter's parallel time.
+    """
+
+    @given(st.lists(st.tuples(
+        st.one_of(st.integers(), st.text(max_size=8),
+                  st.floats(allow_nan=False, allow_infinity=False),
+                  st.tuples(st.integers(), st.integers())),
+        st.integers(1, 20)), min_size=1, max_size=40),
+        st.integers(1, 8))
+    def test_sink_workers_agree_with_shard_for(self, records, workers):
+        from repro.observe import TraceSink
+
+        sink = TraceSink(workers)
+        meter = WorkMeter(workers=workers, tracer=sink)
+        meter.begin_step()
+        expected = {}
+        for key, units in records:
+            meter.record(key, units)
+            worker = shard_for(key, workers)
+            expected[worker] = expected.get(worker, 0) + units
+        meter.end_step()
+        sink.mark()
+        assert len(sink.steps) == 1
+        step = sink.steps[0]
+        assert step.worker_units == expected
+        assert step.critical_units == max(expected.values())
+        assert meter.parallel_time == step.critical_units
+        assert meter.total_work == sink.total_units
+
+    @given(st.lists(st.tuples(st.integers(), st.integers(1, 9)),
+                    min_size=1, max_size=30))
+    def test_serial_attribution_matches_too(self, records):
+        from repro.observe import TraceSink
+
+        workers = 4
+        sink = TraceSink(workers)
+        meter = WorkMeter(workers=workers, tracer=sink)
+        for key, units in records:
+            meter.record(key, units)
+        sink.mark()
+        total = sum(units for _key, units in records)
+        assert sink.total_units == total
+        # Serial work is charged at its full sum, as the meter does.
+        assert sum(s.critical_units for s in sink.steps) == \
+            meter.parallel_time == total
+        for step in sink.steps:
+            for (_op, _time, worker), units in step.op_units.items():
+                assert 0 <= worker < workers
