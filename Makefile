@@ -1,0 +1,25 @@
+# Convenience targets; everything runs against the in-tree sources.
+PYTHON ?= python
+export PYTHONPATH := src
+
+FUZZ_SEED ?= 7
+FUZZ_ITERATIONS ?= 25
+
+.PHONY: test fuzz fuzz-soak bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# The CI fuzz-smoke configuration: fixed seed, deterministic campaign.
+fuzz:
+	$(PYTHON) -m repro.cli fuzz --seed $(FUZZ_SEED) \
+		--iterations $(FUZZ_ITERATIONS)
+
+# Longer soak that keeps going past failures, one repro per mismatch.
+fuzz-soak:
+	$(PYTHON) -m repro.cli fuzz --seed $(FUZZ_SEED) --iterations 200 \
+		--keep-going --quiet
+
+bench:
+	$(PYTHON) benchmarks/bench_hotpath.py --check BENCH_engine.json \
+		--tolerance 0.25

@@ -1,9 +1,17 @@
 """Plain-Python reference implementations for validating the dataflow
 algorithms.
 
-Each reference consumes an edge list ``[(src, dst, weight), ...]`` and
-mirrors the exact semantics of its differential counterpart — including
-PageRank's integer arithmetic — so test comparisons are exact.
+Each reference consumes an edge list and mirrors the exact semantics of
+its differential counterpart — including PageRank's integer arithmetic —
+so test comparisons are exact. Edge lists may be ``(src, dst, weight)``
+triples or the materialized-view form ``(edge_id, src, dst, weight)``
+(see :func:`view_edge_list`); every oracle accepts both.
+
+All oracles share a uniform calling convention, ``oracle(edges,
+**params)``, where ``params`` are keyword arguments named exactly like
+the matching :class:`~repro.core.computation.GraphComputation`
+constructor parameters. The fuzzing harness (:mod:`repro.verify`) relies
+on this to cross-check every algorithm generically.
 """
 
 from __future__ import annotations
@@ -13,7 +21,40 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.algorithms.pagerank import BASE, DAMPING_DEN, DAMPING_NUM, SCALE
 
-EdgeList = Iterable[Tuple[int, int, int]]
+EdgeList = Iterable[Tuple[int, ...]]
+
+
+def _as_triples(edges: EdgeList) -> List[Tuple[int, int, int]]:
+    """Normalize to ``(src, dst, weight)`` triples.
+
+    Accepts 3-tuples as-is and the 4-tuple ``(edge_id, src, dst, weight)``
+    form produced by view materialization.
+    """
+    out: List[Tuple[int, int, int]] = []
+    for record in edges:
+        if len(record) == 3:
+            out.append(tuple(record))
+        elif len(record) == 4:
+            out.append((record[1], record[2], record[3]))
+        else:
+            raise ValueError(
+                f"edge record must be (src, dst, w) or (eid, src, dst, w), "
+                f"got {record!r}")
+    return out
+
+
+def view_edge_list(collection, index: int) -> List[Tuple[int, int, int]]:
+    """The full edge list of view ``index`` as oracle-ready triples.
+
+    Expands multiplicities (a diff entry with multiplicity 2 yields two
+    triples) so multigraph semantics — e.g. out-degree counts — survive
+    the conversion. Sorted for determinism.
+    """
+    triples: List[Tuple[int, int, int]] = []
+    for (_eid, src, dst, w), mult in sorted(
+            collection.full_view_edges(index).items()):
+        triples.extend([(src, dst, w)] * mult)
+    return triples
 
 
 def _vertices(edges: List[Tuple[int, int, int]]) -> Set[int]:
@@ -26,7 +67,7 @@ def _vertices(edges: List[Tuple[int, int, int]]) -> Set[int]:
 
 def reference_wcc(edges: EdgeList) -> Dict[int, int]:
     """Component id = minimum vertex id, edges treated as undirected."""
-    edges = list(edges)
+    edges = _as_triples(edges)
     parent: Dict[int, int] = {v: v for v in _vertices(edges)}
 
     def find(x: int) -> int:
@@ -54,7 +95,7 @@ def reference_bfs(edges: EdgeList,
 
     Unreachable vertices are absent from the result.
     """
-    edges = list(edges)
+    edges = _as_triples(edges)
     if not edges:
         return {}
     if source is None:
@@ -80,7 +121,7 @@ def reference_bfs(edges: EdgeList,
 def reference_sssp(edges: EdgeList,
                    source: Optional[int] = None) -> Dict[int, int]:
     """Weighted shortest distances (Bellman-Ford semantics)."""
-    edges = list(edges)
+    edges = _as_triples(edges)
     if not edges:
         return {}
     if source is None:
@@ -105,7 +146,7 @@ def reference_sssp(edges: EdgeList,
 def reference_pagerank(edges: EdgeList, iterations: int = 10,
                        quantum: int = SCALE // 1000) -> Dict[int, int]:
     """Integer PageRank with the exact update rule of the dataflow version."""
-    edges = list(edges)
+    edges = _as_triples(edges)
     verts = sorted(_vertices(edges))
     out_edges: Dict[int, List[int]] = {}
     for src, dst, _w in edges:
@@ -130,7 +171,7 @@ def reference_pagerank(edges: EdgeList, iterations: int = 10,
 
 def reference_scc(edges: EdgeList) -> Dict[int, int]:
     """SCC ids (= max member id) via iterative Tarjan."""
-    edges = list(edges)
+    edges = _as_triples(edges)
     adjacency: Dict[int, List[int]] = {}
     verts = sorted(_vertices(edges))
     for src, dst, _w in edges:
@@ -186,10 +227,10 @@ def reference_scc(edges: EdgeList) -> Dict[int, int]:
     return component
 
 
-def reference_kcore(edges: EdgeList, k: int) -> Dict[int, int]:
+def reference_kcore(edges: EdgeList, k: int = 2) -> Dict[int, int]:
     """k-core membership via peeling; edges treated as undirected simple."""
     neighbours: Dict[int, Set[int]] = {}
-    for src, dst, _w in edges:
+    for src, dst, _w in _as_triples(edges):
         if src == dst:
             continue
         neighbours.setdefault(src, set()).add(dst)
@@ -209,7 +250,7 @@ def reference_kcore(edges: EdgeList, k: int) -> Dict[int, int]:
 def reference_triangles(edges: EdgeList) -> Dict[int, int]:
     """Per-vertex triangle counts on the undirected simple graph."""
     adjacency: Dict[int, Set[int]] = {}
-    for src, dst, _w in edges:
+    for src, dst, _w in _as_triples(edges):
         if src == dst:
             continue
         adjacency.setdefault(src, set()).add(dst)
@@ -228,6 +269,7 @@ def reference_triangles(edges: EdgeList) -> Dict[int, int]:
 
 def reference_clustering(edges: EdgeList) -> Dict[int, Tuple[int, int]]:
     """(triangles, possible pairs) per vertex of undirected degree >= 2."""
+    edges = _as_triples(edges)
     adjacency: Dict[int, Set[int]] = {}
     for src, dst, _w in edges:
         if src == dst:
@@ -247,15 +289,24 @@ def reference_clustering(edges: EdgeList) -> Dict[int, Tuple[int, int]]:
 def reference_out_degrees(edges: EdgeList) -> Dict[int, int]:
     """Out-degree per vertex with outgoing edges (multiplicity included)."""
     out: Dict[int, int] = {}
-    for src, _dst, _w in edges:
+    for src, _dst, _w in _as_triples(edges):
         out[src] = out.get(src, 0) + 1
     return out
 
 
+def reference_max_degree(edges: EdgeList) -> Dict[int, int]:
+    """The dataflow MaxDegree result: ``{0: max out-degree}`` (or empty)."""
+    degrees = reference_out_degrees(edges)
+    if not degrees:
+        return {}
+    return {0: max(degrees.values())}
+
+
 def reference_mpsp(edges: EdgeList,
-                   pairs: Sequence[Tuple[int, int]]) -> Dict[Tuple[int, int], int]:
+                   pairs: Sequence[Tuple[int, int]] = ()
+                   ) -> Dict[Tuple[int, int], int]:
     """Per-pair shortest distances; unreachable pairs are absent."""
-    edges = list(edges)
+    edges = _as_triples(edges)
     present_sources = {src for src, _dst, _w in edges}
     result: Dict[Tuple[int, int], int] = {}
     for source in sorted({s for s, _d in pairs}):
@@ -266,3 +317,8 @@ def reference_mpsp(edges: EdgeList,
             if s == source and d in dist:
                 result[(s, d)] = dist[d]
     return result
+
+
+#: BellmanFord shares SSSP's oracle (identical semantics, separate name so
+#: the verify registry can address both uniformly).
+reference_bellman_ford = reference_sssp

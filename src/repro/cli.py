@@ -18,6 +18,10 @@ Subcommands:
   critical-path report (``--trace-out`` writes a Chrome trace-event JSON
   loadable at chrome://tracing; see docs/observability.md).
 * ``info``  — describe the session's graphs, views, and collections.
+* ``fuzz``  — differential-oracle fuzzing: randomized view collections
+  cross-checked against scratch recomputation and the metamorphic
+  invariants (see docs/verification.md). ``--replay FILE`` re-runs a
+  previously written repro file.
 
 Computations: wcc, scc, bfs, bf (Bellman-Ford), pagerank, mpsp, kcore,
 triangles, degrees, maxdegree. Options like ``--source``/``--iterations``
@@ -176,6 +180,33 @@ def build_parser() -> argparse.ArgumentParser:
     gvdl = subcommands.add_parser(
         "gvdl", help="only execute the --gvdl/--execute statements")
     del gvdl
+
+    fuzz = subcommands.add_parser(
+        "fuzz", help="fuzz randomized view collections against the "
+                     "plain-Python oracles and metamorphic invariants")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed; fixes every generated case and "
+                           "sampled parameter (default 0)")
+    fuzz.add_argument("--iterations", type=int, default=20,
+                      help="number of generated collections (default 20)")
+    fuzz.add_argument("--algorithms", default=None,
+                      help="comma-separated algorithm names (default: all "
+                           "oracle-backed algorithms)")
+    fuzz.add_argument("--repro-out", default="fuzz-repro.json",
+                      metavar="FILE",
+                      help="where a failure's shrunk repro is written "
+                           "(default fuzz-repro.json)")
+    fuzz.add_argument("--kinds", default=None,
+                      help="comma-separated generator kinds: "
+                           "churn,window,gvdl (default: all)")
+    fuzz.add_argument("--keep-going", action="store_true",
+                      help="keep fuzzing after a mismatch instead of "
+                           "stopping at the first failure")
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="only print the final summary line")
+    fuzz.add_argument("--replay", default=None, metavar="FILE",
+                      help="re-run a previously written repro file instead "
+                           "of fuzzing")
     return parser
 
 
@@ -318,10 +349,38 @@ def _profile(session: Graphsurge, args: argparse.Namespace) -> None:
               f"{report.sink.total_units} units)")
 
 
+def _fuzz(args: argparse.Namespace) -> int:
+    from repro.verify import FuzzConfig, replay_repro, run_fuzz
+
+    if args.replay:
+        mismatch = replay_repro(args.replay)
+        if mismatch is None:
+            print(f"repro {args.replay}: check passes — the failure no "
+                  f"longer reproduces")
+            return 0
+        print(f"repro {args.replay}: still failing\n  {mismatch}")
+        return 1
+    kinds = None
+    if args.kinds:
+        kinds = [part.strip() for part in args.kinds.split(",")
+                 if part.strip()]
+    config = FuzzConfig(
+        seed=args.seed, iterations=args.iterations,
+        algorithms=args.algorithms, repro_out=args.repro_out,
+        kinds=kinds, stop_on_mismatch=not args.keep_going)
+    log = None if args.quiet else print
+    report = run_fuzz(config, log=log)
+    if args.quiet:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.command == "fuzz":
+            return _fuzz(args)
         session = _setup_session(args)
         if args.command == "info":
             _print_info(session)

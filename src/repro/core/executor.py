@@ -126,6 +126,24 @@ class CollectionRunResult:
     #: (``AnalyticsExecutor(tracer=...)``); ``None`` otherwise.
     profile: Optional["CollectionProfile"] = None
 
+    def outputs_by_view(self) -> Dict[str, Diff]:
+        """Kept per-view outputs keyed by view name.
+
+        Requires the run to have used ``keep_outputs=True`` and the
+        collection to have unique view names (both hold for every
+        collection the verification harness generates).
+        """
+        out: Dict[str, Diff] = {}
+        for view in self.views:
+            if view.output is None:
+                raise ComputationError(
+                    f"outputs were not kept for view {view.view_name!r}")
+            if view.view_name in out:
+                raise ComputationError(
+                    f"duplicate view name {view.view_name!r}")
+            out[view.view_name] = view.output
+        return out
+
     def strategy_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
         for view in self.views:

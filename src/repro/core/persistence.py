@@ -72,17 +72,14 @@ def _payload_digest(payload: dict) -> str:
     return hashlib.sha256(_canonical_payload(payload)).hexdigest()
 
 
-def save_collection(collection: MaterializedCollection,
-                    path: PathLike,
-                    compress: Optional[bool] = None) -> None:
-    """Write a collection's difference stream and metadata to ``path``.
+def collection_payload(collection: MaterializedCollection) -> dict:
+    """The JSON-ready payload dict for a collection.
 
-    ``compress`` gzips the document; when ``None`` it is inferred from a
-    ``.gz`` suffix. The write is atomic (temp file + ``os.replace``).
+    Edge tuples are interned into a table and difference sets reference
+    them by index. Shared by :func:`save_collection` and the fuzzer's
+    repro files (:mod:`repro.verify.replay`), which embed a collection
+    inside a larger envelope.
     """
-    path = Path(path)
-    if compress is None:
-        compress = path.suffix == ".gz"
     edge_index: Dict[tuple, int] = {}
     edge_table: List[list] = []
     diffs_encoded = []
@@ -96,7 +93,7 @@ def save_collection(collection: MaterializedCollection,
                 edge_table.append(list(edge))
             encoded.append([index, mult])
         diffs_encoded.append(encoded)
-    payload = {
+    return {
         "name": collection.name,
         "source": collection.source,
         "view_names": collection.view_names,
@@ -104,6 +101,33 @@ def save_collection(collection: MaterializedCollection,
         "diffs": diffs_encoded,
         "creation_seconds": collection.creation_seconds,
     }
+
+
+def collection_from_payload(payload: dict) -> MaterializedCollection:
+    """Rebuild a collection from a :func:`collection_payload` dict.
+
+    Raises :class:`StoreError` on any structurally malformed payload.
+    """
+    try:
+        return _decode_payload(payload)
+    except (KeyError, TypeError, ValueError, IndexError) as error:
+        raise StoreError(
+            f"malformed collection payload: "
+            f"{type(error).__name__}: {error}") from None
+
+
+def save_collection(collection: MaterializedCollection,
+                    path: PathLike,
+                    compress: Optional[bool] = None) -> None:
+    """Write a collection's difference stream and metadata to ``path``.
+
+    ``compress`` gzips the document; when ``None`` it is inferred from a
+    ``.gz`` suffix. The write is atomic (temp file + ``os.replace``).
+    """
+    path = Path(path)
+    if compress is None:
+        compress = path.suffix == ".gz"
+    payload = collection_payload(collection)
     envelope = {
         "format": _FORMAT_VERSION,
         "sha256": _payload_digest(payload),

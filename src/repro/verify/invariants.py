@@ -1,0 +1,279 @@
+"""The fuzzer's checks: oracle cross-validation plus the metamorphic
+invariants Graphsurge's contract promises but hand-written tests rarely
+cover together.
+
+Every check has the same shape — ``check_*(collection, spec, params,
+...) -> Optional[Mismatch]`` — and records enough in ``Mismatch.check``
+to be re-run verbatim by the shrinker and the repro replayer
+(:func:`build_check`). A check returning ``None`` means the invariant
+held.
+
+Invariants:
+
+* **oracle** — each view's output under one :class:`ExecutionMode`
+  equals the plain-Python reference on that view's full edge list.
+* **workers** — per-view outputs and total work are identical across
+  simulated worker counts (sharding changes parallel time only).
+* **permutation** — running the ordering optimizer's permuted collection
+  yields the same output per view *name*.
+* **checkpoint** — kill the run at a view boundary via
+  :class:`FaultPlan`, resume from the journal, and require byte-identical
+  per-view outputs versus the uninterrupted run.
+* **tracing** — attaching a :class:`TraceSink` never changes outputs or
+  the metered counters.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.executor import AnalyticsExecutor, ExecutionMode
+from repro.core.resilience import FaultPlan
+from repro.core.view_collection import (
+    MaterializedCollection,
+    reorder_collection,
+)
+from repro.errors import GraphsurgeError, InjectedFault
+from repro.verify.oracles import (
+    AlgorithmSpec,
+    canonical_diff,
+    describe_map_mismatch,
+    output_map,
+    view_edge_list,
+)
+
+#: Invariant names understood by :func:`build_check` / the repro replayer.
+INVARIANTS = ("oracle", "workers", "permutation", "checkpoint", "tracing")
+
+
+@dataclass
+class Mismatch:
+    """One violated invariant, with everything needed to re-run it."""
+
+    invariant: str
+    algorithm: str
+    detail: str
+    view: Optional[str] = None
+    #: Keyword arguments that pin the exact failing check (mode, worker
+    #: counts, kill site, permutation seed) for shrink/replay.
+    check: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        where = f" view {self.view!r}" if self.view else ""
+        return (f"[{self.invariant}] {self.algorithm}{where}: "
+                f"{self.detail}")
+
+
+def _run(collection: MaterializedCollection, spec: AlgorithmSpec,
+         params: dict, mode: ExecutionMode, workers: int = 1,
+         tracer=None, **kwargs):
+    executor = AnalyticsExecutor(workers=workers, tracer=tracer)
+    return executor.run_on_collection(
+        spec.computation(params), collection, mode=mode,
+        keep_outputs=True, cost_metric="work", **kwargs)
+
+
+# -- oracle ------------------------------------------------------------------
+
+
+def check_oracle(collection: MaterializedCollection, spec: AlgorithmSpec,
+                 params: dict, mode: ExecutionMode,
+                 workers: int = 1) -> Optional[Mismatch]:
+    """Every view's output equals the reference on its full edge list."""
+    check = {"invariant": "oracle", "mode": mode.value, "workers": workers}
+    try:
+        result = _run(collection, spec, params, mode, workers=workers)
+        for index in range(collection.num_views):
+            triples = view_edge_list(collection, index)
+            want = spec.expected(triples, params)
+            got = output_map(result.views[index].output)
+            detail = describe_map_mismatch(got, want)
+            if detail is not None:
+                return Mismatch("oracle", spec.name, detail,
+                                view=collection.view_names[index],
+                                check=check)
+    except GraphsurgeError as error:
+        return Mismatch("oracle", spec.name,
+                        f"{type(error).__name__}: {error}", check=check)
+    return None
+
+
+# -- worker-count invariance -------------------------------------------------
+
+
+def check_workers(collection: MaterializedCollection, spec: AlgorithmSpec,
+                  params: dict,
+                  worker_counts: Sequence[int] = (1, 4)
+                  ) -> Optional[Mismatch]:
+    """Outputs and total work must not depend on the shard count."""
+    check = {"invariant": "workers", "worker_counts": list(worker_counts)}
+    baseline = None
+    for workers in worker_counts:
+        result = _run(collection, spec, params, ExecutionMode.DIFF_ONLY,
+                      workers=workers)
+        outputs = [canonical_diff(view.output) for view in result.views]
+        if baseline is None:
+            baseline = (worker_counts[0], outputs, result.total_work)
+            continue
+        base_workers, base_outputs, base_work = baseline
+        if result.total_work != base_work:
+            return Mismatch(
+                "workers", spec.name,
+                f"total_work {result.total_work} with workers={workers} "
+                f"!= {base_work} with workers={base_workers}", check=check)
+        for index, (got, want) in enumerate(zip(outputs, base_outputs)):
+            if got != want:
+                return Mismatch(
+                    "workers", spec.name,
+                    f"outputs differ between workers={base_workers} and "
+                    f"workers={workers}",
+                    view=collection.view_names[index], check=check)
+    return None
+
+
+# -- view-order permutation --------------------------------------------------
+
+
+def check_permutation(collection: MaterializedCollection,
+                      spec: AlgorithmSpec, params: dict,
+                      perm_seed: int = 0,
+                      order_method: str = "random") -> Optional[Mismatch]:
+    """The ordering optimizer may change cost, never per-view results."""
+    check = {"invariant": "permutation", "perm_seed": perm_seed,
+             "order_method": order_method}
+    if collection.num_views < 2 or collection.total_diffs == 0:
+        return None
+    baseline = _run(collection, spec, params, ExecutionMode.DIFF_ONLY)
+    permuted_collection = reorder_collection(
+        collection, order_method=order_method, seed=perm_seed)
+    permuted = _run(permuted_collection, spec, params,
+                    ExecutionMode.DIFF_ONLY)
+    base_by_name = baseline.outputs_by_view()
+    perm_by_name = permuted.outputs_by_view()
+    if sorted(base_by_name) != sorted(perm_by_name):
+        return Mismatch(
+            "permutation", spec.name,
+            f"view names changed under reordering: "
+            f"{sorted(base_by_name)} vs {sorted(perm_by_name)}",
+            check=check)
+    for name in base_by_name:
+        if canonical_diff(base_by_name[name]) != \
+                canonical_diff(perm_by_name[name]):
+            detail = describe_map_mismatch(
+                output_map(perm_by_name[name]),
+                output_map(base_by_name[name]))
+            return Mismatch("permutation", spec.name,
+                            detail or "outputs differ", view=name,
+                            check=check)
+    return None
+
+
+# -- checkpoint / kill / resume ----------------------------------------------
+
+
+def check_checkpoint(collection: MaterializedCollection,
+                     spec: AlgorithmSpec, params: dict,
+                     kill_at: int = 1,
+                     work_dir: Optional[str] = None) -> Optional[Mismatch]:
+    """Kill at the ``kill_at``-th view boundary, resume, compare outputs.
+
+    ``kill_at`` indexes the dataflow's epoch invocations under DIFF_ONLY
+    (one per view); resumed per-view outputs must be byte-identical to an
+    uninterrupted run's.
+    """
+    check = {"invariant": "checkpoint", "kill_at": kill_at}
+    if collection.num_views < 2:
+        return None
+    kill_at = kill_at % collection.num_views
+    baseline = _run(collection, spec, params, ExecutionMode.DIFF_ONLY)
+    with tempfile.TemporaryDirectory(dir=work_dir) as tmp:
+        path = Path(tmp) / "fuzz.ckpt"
+        plan = FaultPlan.single("epoch", kill_at)
+        try:
+            _run(collection, spec, params, ExecutionMode.DIFF_ONLY,
+                 checkpoint_path=path, fault_plan=plan)
+            return Mismatch(
+                "checkpoint", spec.name,
+                f"planned kill at epoch {kill_at} never fired "
+                f"({collection.num_views} views)", check=check)
+        except InjectedFault:
+            pass
+        resumed = _run(collection, spec, params, ExecutionMode.DIFF_ONLY,
+                       resume_from=path)
+    if resumed.resumed_views != kill_at:
+        return Mismatch(
+            "checkpoint", spec.name,
+            f"resume restored {resumed.resumed_views} views, expected "
+            f"{kill_at}", check=check)
+    for index in range(collection.num_views):
+        got = canonical_diff(resumed.views[index].output)
+        want = canonical_diff(baseline.views[index].output)
+        if got != want:
+            return Mismatch(
+                "checkpoint", spec.name,
+                "resumed output differs from uninterrupted run",
+                view=collection.view_names[index], check=check)
+    return None
+
+
+# -- tracing on/off ----------------------------------------------------------
+
+
+def check_tracing(collection: MaterializedCollection, spec: AlgorithmSpec,
+                  params: dict) -> Optional[Mismatch]:
+    """A TraceSink must observe, never perturb."""
+    from repro.observe import TraceSink
+
+    check = {"invariant": "tracing"}
+    plain = _run(collection, spec, params, ExecutionMode.DIFF_ONLY)
+    traced = _run(collection, spec, params, ExecutionMode.DIFF_ONLY,
+                  tracer=TraceSink(1))
+    if (traced.total_work, traced.total_parallel_time) != \
+            (plain.total_work, plain.total_parallel_time):
+        return Mismatch(
+            "tracing", spec.name,
+            f"counters changed under tracing: work "
+            f"{plain.total_work}->{traced.total_work}, parallel time "
+            f"{plain.total_parallel_time}->{traced.total_parallel_time}",
+            check=check)
+    for index in range(collection.num_views):
+        if canonical_diff(plain.views[index].output) != \
+                canonical_diff(traced.views[index].output):
+            return Mismatch("tracing", spec.name,
+                            "outputs changed under tracing",
+                            view=collection.view_names[index], check=check)
+    return None
+
+
+# -- dispatch for shrink / replay --------------------------------------------
+
+
+def build_check(spec: AlgorithmSpec, params: dict, check: Dict[str, Any]
+                ) -> Callable[[MaterializedCollection], Optional[Mismatch]]:
+    """A re-runnable closure for the exact check a ``Mismatch`` recorded."""
+    invariant = check.get("invariant")
+    if invariant == "oracle":
+        mode = ExecutionMode(check["mode"])
+        workers = int(check.get("workers", 1))
+        return lambda collection: check_oracle(collection, spec, params,
+                                               mode, workers=workers)
+    if invariant == "workers":
+        counts = tuple(check.get("worker_counts", (1, 4)))
+        return lambda collection: check_workers(collection, spec, params,
+                                                worker_counts=counts)
+    if invariant == "permutation":
+        seed = int(check.get("perm_seed", 0))
+        method = check.get("order_method", "random")
+        return lambda collection: check_permutation(
+            collection, spec, params, perm_seed=seed, order_method=method)
+    if invariant == "checkpoint":
+        kill_at = int(check.get("kill_at", 1))
+        return lambda collection: check_checkpoint(collection, spec, params,
+                                                   kill_at=kill_at)
+    if invariant == "tracing":
+        return lambda collection: check_tracing(collection, spec, params)
+    raise GraphsurgeError(f"unknown invariant {invariant!r}; expected one "
+                          f"of {INVARIANTS}")

@@ -1,0 +1,145 @@
+"""Pin every plain-Python oracle against tiny hand-computed graphs and
+verify the uniform ``oracle(edges, **params)`` calling convention the
+fuzzing harness relies on (see repro/verify/oracles.py)."""
+
+import random
+
+import pytest
+
+from repro.algorithms.pagerank import BASE, DAMPING_DEN, DAMPING_NUM, SCALE
+from repro.algorithms.reference import (
+    reference_bellman_ford,
+    reference_bfs,
+    reference_clustering,
+    reference_kcore,
+    reference_max_degree,
+    reference_mpsp,
+    reference_out_degrees,
+    reference_pagerank,
+    reference_scc,
+    reference_sssp,
+    reference_triangles,
+    reference_wcc,
+    view_edge_list,
+)
+from repro.core.view_collection import collection_from_diffs
+from repro.verify.oracles import ALGORITHMS
+
+# A directed triangle 1->2->3->1 plus a weighted tail 3->4.
+TRIANGLE_TAIL = [(1, 2, 1), (2, 3, 1), (3, 1, 1), (3, 4, 5)]
+
+
+class TestHandComputedPins:
+    def test_wcc(self):
+        assert reference_wcc(TRIANGLE_TAIL) == {1: 1, 2: 1, 3: 1, 4: 1}
+        assert reference_wcc([(1, 2, 1), (3, 4, 1)]) == \
+            {1: 1, 2: 1, 3: 3, 4: 3}
+
+    def test_bfs(self):
+        assert reference_bfs(TRIANGLE_TAIL, source=1) == \
+            {1: 0, 2: 1, 3: 2, 4: 3}
+        # Default source: the minimum vertex with an outgoing edge.
+        assert reference_bfs(TRIANGLE_TAIL) == {1: 0, 2: 1, 3: 2, 4: 3}
+        # A source without outgoing edges yields no result records.
+        assert reference_bfs(TRIANGLE_TAIL, source=4) == {}
+        assert reference_bfs([]) == {}
+
+    def test_sssp_and_bellman_ford_alias(self):
+        assert reference_sssp(TRIANGLE_TAIL, source=1) == \
+            {1: 0, 2: 1, 3: 2, 4: 7}
+        assert reference_bellman_ford is reference_sssp
+
+    def test_sssp_prefers_lighter_longer_path(self):
+        edges = [(1, 2, 10), (1, 3, 1), (3, 2, 1)]
+        assert reference_sssp(edges, source=1) == {1: 0, 2: 2, 3: 1}
+
+    def test_scc(self):
+        # {1,2,3} form a cycle (id = max member 3); 4 is a singleton.
+        assert reference_scc(TRIANGLE_TAIL) == {1: 3, 2: 3, 3: 3, 4: 4}
+
+    def test_kcore(self):
+        # Undirected: 4 has degree 1 and peels; the triangle survives k=2.
+        assert reference_kcore(TRIANGLE_TAIL, k=2) == {1: 2, 2: 2, 3: 2}
+        assert reference_kcore(TRIANGLE_TAIL, k=3) == {}
+        # Default k is 2, matching the KCore computation's default.
+        assert reference_kcore(TRIANGLE_TAIL) == \
+            reference_kcore(TRIANGLE_TAIL, k=2)
+
+    def test_triangles(self):
+        assert reference_triangles(TRIANGLE_TAIL) == {1: 1, 2: 1, 3: 1}
+
+    def test_clustering(self):
+        # Undirected degrees: 1:2, 2:2, 3:3, 4:1 (degree < 2 is absent).
+        assert reference_clustering(TRIANGLE_TAIL) == \
+            {1: (1, 1), 2: (1, 1), 3: (1, 3)}
+
+    def test_out_degrees_count_multiplicity(self):
+        assert reference_out_degrees(TRIANGLE_TAIL) == {1: 1, 2: 1, 3: 2}
+        # A repeated edge is two outgoing edges, not one.
+        assert reference_out_degrees([(1, 2, 1), (1, 2, 1)]) == {1: 2}
+
+    def test_max_degree(self):
+        assert reference_max_degree(TRIANGLE_TAIL) == {0: 2}
+        assert reference_max_degree([]) == {}
+
+    def test_mpsp(self):
+        got = reference_mpsp(TRIANGLE_TAIL,
+                             pairs=[(1, 4), (4, 1), (2, 3)])
+        # 4 has no outgoing edges, so pair (4, 1) has no distance.
+        assert got == {(1, 4): 7, (2, 3): 1}
+        assert reference_mpsp(TRIANGLE_TAIL) == {}
+
+    def test_pagerank_single_edge_one_iteration(self):
+        # One derivation of the documented update rule, by hand:
+        # share(1) = SCALE, contribution = (85 * SCALE) // 100, and both
+        # ranks round to the nearest quantum (SCALE // 1000).
+        quantum = SCALE // 1000
+        contribution = (DAMPING_NUM * SCALE) // DAMPING_DEN
+        want = {
+            1: ((BASE + quantum // 2) // quantum) * quantum,
+            2: ((BASE + contribution + quantum // 2) // quantum) * quantum,
+        }
+        assert reference_pagerank([(1, 2, 1)], iterations=1) == want
+        assert want == {1: 150_000, 2: 1_000_000}
+
+    def test_pagerank_symmetry(self):
+        ranks = reference_pagerank([(1, 2, 1), (2, 1, 1)], iterations=20)
+        assert ranks[1] == ranks[2]
+
+
+class TestUniformConvention:
+    """Every registered oracle is callable as ``oracle(edges, **params)``
+    with params drawn from its own sampler — no algorithm-specific glue."""
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_oracle_accepts_sampled_params(self, name):
+        spec = ALGORITHMS[name]
+        rng = random.Random(13)
+        vertices = [1, 2, 3, 4]
+        for _ in range(5):
+            params = spec.sample_params(rng, vertices)
+            result = spec.oracle(TRIANGLE_TAIL, **params)
+            assert isinstance(result, dict)
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_oracle_accepts_materialized_four_tuples(self, name):
+        spec = ALGORITHMS[name]
+        quads = [(eid, src, dst, w)
+                 for eid, (src, dst, w) in enumerate(TRIANGLE_TAIL)]
+        params = spec.sample_params(random.Random(0), [1, 2, 3, 4])
+        assert spec.oracle(quads, **params) == \
+            spec.oracle(TRIANGLE_TAIL, **params)
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ValueError):
+            reference_wcc([(1, 2)])
+
+
+class TestViewEdgeList:
+    def test_expands_multiplicity(self):
+        diffs = [{(0, 1, 2, 1): 2, (1, 2, 3, 1): 1},
+                 {(0, 1, 2, 1): -1}]
+        collection = collection_from_diffs("vel", diffs)
+        assert view_edge_list(collection, 0) == \
+            [(1, 2, 1), (1, 2, 1), (2, 3, 1)]
+        assert view_edge_list(collection, 1) == [(1, 2, 1), (2, 3, 1)]

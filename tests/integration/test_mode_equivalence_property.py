@@ -5,12 +5,14 @@ correctness contract (the splitting optimizer must never change results).
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.algorithms import Bfs, Wcc
 from repro.core.executor import AnalyticsExecutor, ExecutionMode
 from repro.core.view_collection import collection_from_diffs
+from repro.verify import ALGORITHMS, canonical_diff, generate_case
 
 
 def build_collection(seed, num_views, churn):
@@ -66,6 +68,28 @@ def test_all_modes_agree(seed, num_views, churn, batch_size):
         outputs[ExecutionMode.SCRATCH]
     assert outputs[ExecutionMode.ADAPTIVE] == \
         outputs[ExecutionMode.SCRATCH]
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_modes_agree_for_every_oracle_backed_algorithm(name):
+    """The mode-equivalence contract holds for the full algorithm roster,
+    on collections drawn from the fuzzer's generator (churn grammar)."""
+    spec = ALGORITHMS[name]
+    seed = 900 + sorted(ALGORITHMS).index(name)
+    case = generate_case(seed, kinds=["churn"])
+    params = spec.sample_params(random.Random(seed), case.vertices())
+    executor = AnalyticsExecutor()
+    outputs = {}
+    for mode in ExecutionMode:
+        result = executor.run_on_collection(
+            spec.computation(params), case.collection, mode=mode,
+            batch_size=2, keep_outputs=True, cost_metric="work")
+        outputs[mode] = [canonical_diff(view.output)
+                         for view in result.views]
+    assert outputs[ExecutionMode.DIFF_ONLY] == \
+        outputs[ExecutionMode.SCRATCH], name
+    assert outputs[ExecutionMode.ADAPTIVE] == \
+        outputs[ExecutionMode.SCRATCH], name
 
 
 @settings(max_examples=6, deadline=None)

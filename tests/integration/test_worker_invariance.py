@@ -3,7 +3,7 @@ or total work."""
 
 import pytest
 
-from repro.algorithms import Bfs, PageRank, Scc, Wcc
+from repro.algorithms import BellmanFord, Bfs, PageRank, Scc, Wcc
 from repro.bench.workloads import orkut_churn_collection
 from repro.core.executor import AnalyticsExecutor, ExecutionMode
 
@@ -31,6 +31,22 @@ def test_results_and_work_invariant_under_sharding(collection, factory):
             baselines = summary
         else:
             assert summary == baselines, f"workers={workers}"
+
+
+@pytest.mark.parametrize("factory", [lambda: PageRank(iterations=8),
+                                     lambda: BellmanFord()],
+                         ids=["PR8", "BF"])
+def test_vertex_maps_identical_for_workers_1_and_4(collection, factory):
+    """Regression: iterate-heavy computations must produce identical
+    per-view ``vertex_map()`` results at 1 and 4 simulated workers."""
+    maps = {}
+    for workers in (1, 4):
+        result = AnalyticsExecutor(workers=workers).run_on_collection(
+            factory(), collection, mode=ExecutionMode.DIFF_ONLY,
+            keep_outputs=True, cost_metric="work")
+        maps[workers] = [view.vertex_map() for view in result.views]
+    assert maps[1] == maps[4]
+    assert any(maps[1])  # the workload is non-trivial
 
 
 def test_parallel_time_monotone_in_workers(collection):

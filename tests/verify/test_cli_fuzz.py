@@ -1,0 +1,72 @@
+"""The ``fuzz`` CLI subcommand: exit codes, flags, replay mode."""
+
+import json
+
+from repro.cli import main
+from repro.verify.generator import random_churn_collection
+from repro.verify.replay import ReproFile, write_repro
+
+
+def test_fuzz_green_campaign_exits_zero(tmp_path, capsys):
+    code = main(["fuzz", "--seed", "3", "--iterations", "2",
+                 "--repro-out", str(tmp_path / "r.json")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "OK" in out
+    assert not (tmp_path / "r.json").exists()
+
+
+def test_fuzz_quiet_prints_only_summary(tmp_path, capsys):
+    code = main(["fuzz", "--seed", "3", "--iterations", "1", "--quiet",
+                 "--repro-out", str(tmp_path / "r.json")])
+    out = capsys.readouterr().out.strip()
+    assert code == 0
+    assert len(out.splitlines()) == 1
+    assert out.startswith("fuzz seed 3")
+
+
+def test_fuzz_algorithm_and_kind_filters(tmp_path, capsys):
+    code = main(["fuzz", "--seed", "1", "--iterations", "2",
+                 "--algorithms", "wcc,degrees", "--kinds", "churn",
+                 "--repro-out", str(tmp_path / "r.json")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "churn case" in out and "gvdl case" not in out
+
+
+def test_fuzz_unknown_algorithm_exits_one(capsys):
+    code = main(["fuzz", "--algorithms", "nope"])
+    assert code == 1
+    assert "unknown fuzz algorithm" in capsys.readouterr().err
+
+
+def test_replay_missing_file_exits_one(tmp_path, capsys):
+    code = main(["fuzz", "--replay", str(tmp_path / "absent.json")])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_replay_passing_repro_exits_zero(tmp_path, capsys):
+    repro = ReproFile(
+        seed=0, kind="churn", algorithm="wcc", params={},
+        check={"invariant": "oracle", "mode": "scratch", "workers": 1},
+        detail="", collection=random_churn_collection(2, num_views=2))
+    path = write_repro(tmp_path / "r.json", repro)
+    code = main(["fuzz", "--replay", str(path)])
+    assert code == 0
+    assert "no longer reproduces" in capsys.readouterr().out
+
+
+def test_replay_corrupt_repro_exits_one(tmp_path, capsys):
+    path = tmp_path / "r.json"
+    repro = ReproFile(
+        seed=0, kind="churn", algorithm="wcc", params={},
+        check={"invariant": "oracle", "mode": "scratch", "workers": 1},
+        detail="", collection=random_churn_collection(2, num_views=2))
+    write_repro(path, repro)
+    document = json.loads(path.read_text())
+    document["payload"]["seed"] = 5
+    path.write_text(json.dumps(document))
+    code = main(["fuzz", "--replay", str(path)])
+    assert code == 1
+    assert "checksum" in capsys.readouterr().err

@@ -1,0 +1,103 @@
+"""The fuzzer's case generator: determinism, validity, grammar coverage."""
+
+import pytest
+
+from repro.verify.generator import (
+    KINDS,
+    generate_case,
+    random_churn_collection,
+    random_gvdl_collection,
+    random_window_collection,
+)
+
+
+def _fingerprint(collection):
+    """The deterministic identity of a collection (collection_payload
+    also carries wall-clock provenance, which may not repeat)."""
+    return (collection.name, tuple(collection.view_names),
+            tuple(tuple(sorted(diff.items())) for diff in collection.diffs))
+
+
+def _no_negative_accumulation(collection):
+    acc = {}
+    for diff in collection.diffs:
+        for edge, mult in diff.items():
+            acc[edge] = acc.get(edge, 0) + mult
+            assert acc[edge] >= 0, (edge, acc[edge])
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", [0, 1, 99, 12345])
+    def test_same_seed_same_collection(self, seed):
+        first = generate_case(seed)
+        second = generate_case(seed)
+        assert first.kind == second.kind
+        assert _fingerprint(first.collection) == \
+            _fingerprint(second.collection)
+        assert first.gvdl_text == second.gvdl_text
+
+    def test_different_seeds_differ(self):
+        payloads = {_fingerprint(generate_case(seed).collection)
+                    for seed in range(8)}
+        assert len(payloads) > 1
+
+
+class TestChurn:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_streams_are_valid(self, seed):
+        collection = random_churn_collection(seed)
+        assert collection.num_views >= 2
+        _no_negative_accumulation(collection)
+
+    def test_explicit_shape(self):
+        collection = random_churn_collection(3, num_views=6, num_nodes=10,
+                                             churn=4)
+        assert collection.num_views == 6
+
+    def test_stable_edge_identity(self):
+        # The same (src, dst, weight) triple always maps to one edge id,
+        # so a removal cancels the exact addition it undoes.
+        collection = random_churn_collection(7, num_views=5)
+        identities = {}
+        for diff in collection.diffs:
+            for (eid, src, dst, w) in diff:
+                assert identities.setdefault((src, dst, w), eid) == eid
+
+
+class TestWindowAndGvdl:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_window_collections_materialize(self, seed):
+        collection = random_window_collection(seed)
+        assert collection.num_views >= 2
+        _no_negative_accumulation(collection)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_gvdl_text_is_replayable(self, seed):
+        from repro.core.system import Graphsurge
+
+        collection, text = random_gvdl_collection(seed)
+        assert text.startswith("create view collection")
+        assert collection.num_views >= 2
+        _no_negative_accumulation(collection)
+
+
+class TestGenerateCase:
+    def test_kind_restriction(self):
+        for seed in range(6):
+            case = generate_case(seed, kinds=["churn"])
+            assert case.kind == "churn"
+            assert case.gvdl_text is None
+
+    def test_all_kinds_reachable(self):
+        seen = {generate_case(seed).kind for seed in range(40)}
+        assert seen == set(KINDS)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            generate_case(0, kinds=["nope"])
+
+    def test_vertices_sorted_union(self):
+        case = generate_case(5, kinds=["churn"])
+        verts = case.vertices()
+        assert verts == sorted(set(verts))
+        assert verts

@@ -1,0 +1,104 @@
+"""The invariant battery: passes on healthy code, pins down corruptions."""
+
+import pytest
+
+from repro.algorithms import Wcc
+from repro.core.executor import ExecutionMode
+from repro.errors import GraphsurgeError
+from repro.verify.generator import random_churn_collection
+from repro.verify.invariants import (
+    build_check,
+    check_checkpoint,
+    check_oracle,
+    check_permutation,
+    check_tracing,
+    check_workers,
+)
+from repro.verify.oracles import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    output_map,
+    resolve_algorithms,
+)
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return random_churn_collection(seed=11, num_views=4, num_nodes=8,
+                                   churn=5)
+
+
+WCC = ALGORITHMS["wcc"]
+
+#: A spec whose oracle is deliberately wrong — every check_oracle call
+#: must flag it.
+BROKEN = AlgorithmSpec("wcc", Wcc, lambda edges: {"bogus": -1})
+
+
+class TestChecksPassOnHealthyEngine:
+    @pytest.mark.parametrize("mode", list(ExecutionMode))
+    def test_oracle(self, collection, mode):
+        assert check_oracle(collection, WCC, {}, mode) is None
+
+    def test_workers(self, collection):
+        assert check_workers(collection, WCC, {}) is None
+
+    def test_permutation(self, collection):
+        assert check_permutation(collection, WCC, {}, perm_seed=3) is None
+
+    def test_checkpoint(self, collection):
+        assert check_checkpoint(collection, WCC, {}, kill_at=2) is None
+
+    def test_tracing(self, collection):
+        assert check_tracing(collection, WCC, {}) is None
+
+
+class TestChecksCatchViolations:
+    def test_oracle_mismatch_reported_with_view(self, collection):
+        mismatch = check_oracle(collection, BROKEN, {},
+                                ExecutionMode.DIFF_ONLY)
+        assert mismatch is not None
+        assert mismatch.invariant == "oracle"
+        assert mismatch.view is not None
+        assert mismatch.check["mode"] == "diff-only"
+        assert "wcc" in str(mismatch)
+
+    def test_mismatch_check_is_rebuildable(self, collection):
+        mismatch = check_oracle(collection, BROKEN, {},
+                                ExecutionMode.ADAPTIVE)
+        check = build_check(BROKEN, {}, mismatch.check)
+        again = check(collection)
+        assert again is not None and again.invariant == "oracle"
+        # The same descriptor against the healthy spec passes.
+        assert build_check(WCC, {}, mismatch.check)(collection) is None
+
+    def test_build_check_rejects_unknown_invariant(self):
+        with pytest.raises(GraphsurgeError):
+            build_check(WCC, {}, {"invariant": "gremlins"})
+
+
+class TestOutputMap:
+    def test_happy_path(self):
+        assert output_map({(1, 5): 1, (2, 7): 1}) == {1: 5, 2: 7}
+
+    def test_multiplicity_corruption_raises(self):
+        with pytest.raises(GraphsurgeError):
+            output_map({(1, 5): 2})
+
+    def test_duplicate_key_raises(self):
+        with pytest.raises(GraphsurgeError):
+            output_map({(1, 5): 1, (1, 6): 1})
+
+
+class TestResolveAlgorithms:
+    def test_default_is_all(self):
+        assert {spec.name for spec in resolve_algorithms()} == \
+            set(ALGORITHMS)
+
+    def test_comma_string(self):
+        specs = resolve_algorithms("wcc, bfs")
+        assert [spec.name for spec in specs] == ["wcc", "bfs"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(GraphsurgeError):
+            resolve_algorithms(["wcc", "nope"])
