@@ -5,10 +5,16 @@ export PYTHONPATH := src
 FUZZ_SEED ?= 7
 FUZZ_ITERATIONS ?= 25
 
-.PHONY: test fuzz fuzz-soak bench
+.PHONY: test analyze fuzz fuzz-soak bench
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Static plan analysis + UDF linting over every built-in algorithm plus
+# fuzzer-generated plans; exits non-zero on any ERROR finding.
+analyze:
+	$(PYTHON) -m repro.cli analyze --seed $(FUZZ_SEED) --generated 25 \
+		--json analysis-report.json
 
 # The CI fuzz-smoke configuration: fixed seed, deterministic campaign.
 fuzz:

@@ -25,6 +25,9 @@ __all__ = [
     "RunBudget",
     "RetryPolicy",
     "FaultPlan",
+    "AnalysisReport",
+    "analyze",
+    "analyze_computation",
     "__version__",
 ]
 
@@ -36,6 +39,9 @@ _LAZY = {
     "RunBudget": ("repro.core.resilience", "RunBudget"),
     "RetryPolicy": ("repro.core.resilience", "RetryPolicy"),
     "FaultPlan": ("repro.core.resilience", "FaultPlan"),
+    "AnalysisReport": ("repro.analyze", "AnalysisReport"),
+    "analyze": ("repro.analyze", "analyze"),
+    "analyze_computation": ("repro.analyze", "analyze_computation"),
 }
 
 

@@ -19,7 +19,9 @@ from repro.core.computation import GraphComputation
 
 def _min_per_source(key, vals):
     best = {}
-    for (source, dist), _mult in vals.items():
+    # Visit order cannot reach the output: only the per-source minimum
+    # survives and the result is sorted.
+    for (source, dist), _mult in vals.items():  # analyze: ignore[GS-U202]
         current = best.get(source)
         if current is None or dist < current:
             best[source] = dist

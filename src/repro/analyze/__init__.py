@@ -1,0 +1,79 @@
+"""Static plan analysis and UDF determinism linting.
+
+``analyze(dataflow)`` runs two read-only passes over a built dataflow —
+the plan analyzer (:mod:`repro.analyze.plan`, rules ``GS-P1xx``) and the
+UDF linter (:mod:`repro.analyze.udf`, rules ``GS-U2xx``) — and returns an
+:class:`AnalysisReport`. Strict mode (``Graphsurge.run_analytics(...,
+strict=True)`` / ``run --strict``) raises
+:class:`repro.errors.AnalysisError` on any ERROR finding before the epoch
+driver runs a single view.
+
+The full rule catalog (rationale, examples, suppression) is in
+``docs/analysis.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.analyze.plan import PLAN_RULES, PlanWalk, check_plan
+from repro.analyze.report import AnalysisReport, Finding, Rule, Severity
+from repro.analyze.udf import UDF_RULES, check_udfs
+
+#: Every rule the analyzer knows, by id.
+RULES: Dict[str, Rule] = {**PLAN_RULES, **UDF_RULES}
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "Rule",
+    "RULES",
+    "Severity",
+    "analyze",
+    "analyze_computation",
+]
+
+
+def analyze(dataflow, ignore: Iterable[str] = ()) -> AnalysisReport:
+    """Statically analyze a built dataflow.
+
+    Both passes only read the operator DAG — no traces, schedules, or
+    meter state are touched, so a subsequent run's ``total_work`` and
+    ``parallel_time`` are byte-identical to an unanalyzed run's.
+
+    ``ignore`` drops whole rules by id (the per-line escape hatch is a
+    ``# analyze: ignore[rule-id]`` comment in the UDF source).
+    """
+    ignored = set(ignore)
+    unknown = ignored.difference(RULES)
+    if unknown:
+        raise ValueError(
+            f"unknown analyzer rule id(s): {', '.join(sorted(unknown))}")
+    report = AnalysisReport()
+    walk = PlanWalk(dataflow)
+    plan_findings, report.operators_scanned = check_plan(dataflow, walk)
+    udf_findings, report.udfs_scanned, report.udfs_skipped, \
+        report.suppressed = check_udfs(dataflow, walk.path)
+    for finding in plan_findings + udf_findings:
+        if finding.rule in ignored:
+            report.suppressed += 1
+        else:
+            report.findings.append(finding)
+    return report
+
+
+def analyze_computation(computation, workers: int = 1,
+                        ignore: Iterable[str] = ()) -> AnalysisReport:
+    """Build a fresh dataflow for ``computation`` and analyze it.
+
+    Mirrors the executor's build (an ``edges`` input, the computation's
+    ``build``, a root-scope capture) so the analyzed plan is exactly the
+    plan a run would execute.
+    """
+    from repro.differential.dataflow import Dataflow
+
+    dataflow = Dataflow(workers=workers)
+    edges = dataflow.new_input("edges")
+    result = computation.build(dataflow, edges)
+    dataflow.capture(result, "results")
+    return analyze(dataflow, ignore=ignore)

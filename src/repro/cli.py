@@ -22,6 +22,11 @@ Subcommands:
   cross-checked against scratch recomputation and the metamorphic
   invariants (see docs/verification.md). ``--replay FILE`` re-runs a
   previously written repro file.
+* ``analyze`` — static plan analysis + UDF determinism linting over the
+  built-in algorithms (and ``--generated N`` fuzzer-derived plans)
+  without executing anything; exits 1 on any ERROR finding (see
+  docs/analysis.md). ``run --strict`` applies the same check before
+  executing.
 
 Computations: wcc, scc, bfs, bf (Bellman-Ford), pagerank, mpsp, kcore,
 triangles, degrees, maxdegree. Options like ``--source``/``--iterations``
@@ -162,6 +167,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--retry-backoff", type=float, default=0.5,
                      help="seconds before the first retry, doubled each "
                           "further retry (default 0.5)")
+    run.add_argument("--strict", action="store_true",
+                     help="statically analyze the plan at build time and "
+                          "refuse to run on any ERROR finding (see "
+                          "docs/analysis.md)")
 
     profile = subcommands.add_parser(
         "profile", help="run a computation traced; print the per-view "
@@ -180,6 +189,25 @@ def build_parser() -> argparse.ArgumentParser:
     gvdl = subcommands.add_parser(
         "gvdl", help="only execute the --gvdl/--execute statements")
     del gvdl
+
+    analyze = subcommands.add_parser(
+        "analyze", help="statically analyze computation plans and their "
+                        "UDFs without running anything (docs/analysis.md)")
+    analyze.add_argument(
+        "computations", nargs="*", metavar="NAME",
+        help="algorithm names to analyze (default: every built-in "
+             "algorithm)")
+    analyze.add_argument("--seed", type=int, default=0,
+                         help="seed for sampled parameters and generated "
+                              "plans (default 0)")
+    analyze.add_argument("--generated", type=int, default=0, metavar="N",
+                         help="also analyze N fuzzer-generated plans from "
+                              "repro.verify.generator (default 0)")
+    analyze.add_argument("--json", default=None, metavar="FILE",
+                         help="write the full report as JSON")
+    analyze.add_argument("--quiet", action="store_true",
+                         help="print only per-plan verdict lines and the "
+                              "summary")
 
     fuzz = subcommands.add_parser(
         "fuzz", help="fuzz randomized view collections against the "
@@ -293,7 +321,8 @@ def _run(session: Graphsurge, args: argparse.Namespace) -> None:
         computation, args.target, mode=ExecutionMode(args.mode),
         batch_size=args.batch_size, keep_outputs=bool(args.out),
         checkpoint_path=checkpoint_path, resume_from=resume_from,
-        budget=budget, retry_policy=retry_policy, tracer=tracer)
+        budget=budget, retry_policy=retry_policy, tracer=tracer,
+        strict=args.strict)
     if isinstance(result, CollectionRunResult):
         resumed = (f", resumed at view {result.resumed_views}"
                    if result.resumed_views else "")
@@ -349,6 +378,54 @@ def _profile(session: Graphsurge, args: argparse.Namespace) -> None:
               f"{report.sink.total_units} units)")
 
 
+def _analyze(args: argparse.Namespace) -> int:
+    from repro.analyze.corpus import default_computations, \
+        generated_computations
+    from repro.analyze import analyze_computation
+
+    plans = default_computations(args.seed)
+    if args.computations:
+        known = {label for label, _ in plans}
+        wanted = [name.lower() for name in args.computations]
+        unknown = [name for name in wanted if name not in known]
+        if unknown:
+            raise GraphsurgeError(
+                f"unknown computation(s): {', '.join(unknown)}; "
+                f"expected names from: {', '.join(sorted(known))}")
+        plans = [(label, comp) for label, comp in plans if label in wanted]
+    if args.generated > 0:
+        plans = plans + list(
+            generated_computations(args.seed, args.generated))
+    reports = {}
+    errors = warnings = 0
+    for label, computation in plans:
+        report = analyze_computation(computation, workers=args.workers)
+        reports[label] = report
+        errors += len(report.errors())
+        warnings += len(report.warnings())
+        verdict = "clean" if not report.findings else \
+            f"{len(report.errors())} error(s), " \
+            f"{len(report.warnings())} warning(s)"
+        print(f"{label}: {verdict} ({report.operators_scanned} operators, "
+              f"{report.udfs_scanned} UDFs"
+              + (f", {report.suppressed} suppressed"
+                 if report.suppressed else "") + ")")
+        if report.findings and not args.quiet:
+            for finding in report.sorted_findings():
+                print("  " + finding.render().replace("\n", "\n  "))
+    print(f"analyzed {len(plans)} plan(s): {errors} error(s), "
+          f"{warnings} warning(s)")
+    if args.json:
+        import json
+
+        payload = {label: report.to_dict()
+                   for label, report in reports.items()}
+        Path(args.json).write_text(json.dumps(payload, indent=1,
+                                              sort_keys=True))
+        print(f"wrote {args.json}")
+    return 1 if errors else 0
+
+
 def _fuzz(args: argparse.Namespace) -> int:
     from repro.verify import FuzzConfig, replay_repro, run_fuzz
 
@@ -381,6 +458,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "fuzz":
             return _fuzz(args)
+        if args.command == "analyze":
+            return _analyze(args)
         session = _setup_session(args)
         if args.command == "info":
             _print_info(session)

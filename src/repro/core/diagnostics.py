@@ -125,6 +125,10 @@ class CollectionSummary:
     #: when the supplied run was traced; lets ``explain()`` answer "why is
     #: view k slow" directly.
     profile: Optional[object] = None
+    #: Static-analysis verdict for the plan the collection would be run
+    #: with (a :class:`repro.analyze.AnalysisReport`, see
+    #: ``Graphsurge.analyze``); ``None`` when no analysis was supplied.
+    analysis: Optional[object] = None
 
     @property
     def mean_churn(self) -> float:
@@ -181,18 +185,38 @@ class CollectionSummary:
                     lines.append(
                         f"  {contributor.operator} @ epoch "
                         f"{contributor.epoch}: {contributor.units} units")
+        if self.analysis is not None:
+            errors = self.analysis.errors()
+            warnings = self.analysis.warnings()
+            if not self.analysis.findings:
+                lines.append(
+                    f"static analysis: clean "
+                    f"({self.analysis.operators_scanned} operators, "
+                    f"{self.analysis.udfs_scanned} UDFs)")
+            else:
+                lines.append(
+                    f"static analysis: {len(errors)} error(s), "
+                    f"{len(warnings)} warning(s)")
+                for finding in self.analysis.sorted_findings()[:5]:
+                    lines.append("  " + finding.render().splitlines()[0])
+                remaining = len(self.analysis.findings) - 5
+                if remaining > 0:
+                    lines.append(f"  ... and {remaining} more (run the "
+                                 f"`analyze` subcommand for all)")
         return "\n".join(lines)
 
 
 def summarize_collection(collection: MaterializedCollection,
                          checkpoint_path=None,
-                         run_result=None) -> CollectionSummary:
+                         run_result=None,
+                         analysis=None) -> CollectionSummary:
     """Compute similarity statistics for a collection.
 
     With ``checkpoint_path``, the summary also reports whether a run
     checkpoint exists for the collection and how far it got. With
     ``run_result`` (a ``CollectionRunResult``), it reports the run's final
-    per-operator trace memory.
+    per-operator trace memory. With ``analysis`` (an
+    ``AnalysisReport``), it appends the static-analysis verdict.
     """
     churn: List[float] = []
     jaccard: List[float] = []
@@ -220,4 +244,5 @@ def summarize_collection(collection: MaterializedCollection,
                       if run_result is not None else None),
         profile=(getattr(run_result, "profile", None)
                  if run_result is not None else None),
+        analysis=analysis,
     )

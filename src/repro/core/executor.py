@@ -166,9 +166,15 @@ class AnalyticsExecutor:
     """
 
     def __init__(self, workers: int = 1,
-                 tracer: Optional[TraceSink] = None):
+                 tracer: Optional[TraceSink] = None,
+                 strict: bool = False):
         self.workers = workers
         self.tracer = tracer
+        #: Strict mode statically analyzes every plan at build time and
+        #: refuses (``AnalysisError``) to run one with ERROR findings —
+        #: before the epoch driver touches a single view.
+        self.strict = strict
+        self._strict_cleared: set = set()
 
     # -- single views -----------------------------------------------------------
 
@@ -573,4 +579,14 @@ class AnalyticsExecutor:
                 f"{computation.name}: build() must return a root-scope "
                 f"collection")
         capture = dataflow.capture(result, "results")
+        if self.strict and id(computation) not in self._strict_cleared:
+            from repro.analyze import analyze
+            from repro.errors import AnalysisError
+
+            report = analyze(dataflow)
+            if not report.ok:
+                raise AnalysisError(report)
+            # Retries and scratch views rebuild the same plan; one clean
+            # analysis per computation object is enough.
+            self._strict_cleared.add(id(computation))
         return dataflow, capture

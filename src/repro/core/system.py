@@ -131,21 +131,38 @@ class Graphsurge:
         self.views.add_view(statement.name, view)
 
     def explain(self, name: str, checkpoint_path=None,
-                run_result=None) -> str:
+                run_result=None, analysis=None) -> str:
         """Summarize a materialized collection (similarity, split hints).
 
         With ``checkpoint_path``, the summary also reports whether a run
         checkpoint exists for the collection — how many views completed
         and where a resumed run would pick up. With ``run_result`` (the
         value returned by :meth:`run_analytics`), it also reports the
-        run's per-operator trace memory.
+        run's per-operator trace memory. With ``analysis`` (an
+        :class:`repro.analyze.AnalysisReport`, e.g. from
+        :meth:`analyze`), it appends the static-analysis verdict for the
+        plan the collection would be run with.
         """
         from repro.core.diagnostics import summarize_collection
 
         collection = self.views.get_collection(name)
         return summarize_collection(
             collection, checkpoint_path=checkpoint_path,
-            run_result=run_result).render()
+            run_result=run_result, analysis=analysis).render()
+
+    def analyze(self, computation: GraphComputation, ignore=()):
+        """Statically analyze the plan a computation would run with.
+
+        Builds the computation's dataflow exactly as a run would (without
+        feeding any view) and returns the
+        :class:`repro.analyze.AnalysisReport` of the plan analyzer and
+        UDF linter. Pass the report to :meth:`explain` to render it
+        alongside the collection summary.
+        """
+        from repro.analyze import analyze_computation
+
+        return analyze_computation(computation, workers=self.workers,
+                                   ignore=ignore)
 
     # -- persistence ---------------------------------------------------------------
 
@@ -205,7 +222,8 @@ class Graphsurge:
                       resume_from=None,
                       budget=None,
                       retry_policy=None,
-                      tracer=None
+                      tracer=None,
+                      strict: bool = False
                       ) -> Union[ViewRunResult, CollectionRunResult]:
         """Run a computation on a view, base graph, or view collection.
 
@@ -215,12 +233,14 @@ class Graphsurge:
         With ``tracer`` (a :class:`repro.observe.TraceSink`) the run is
         traced: per-view critical-path profiles are attached to the
         result, and the sink holds the exportable span stream. Tracing
-        never changes the metered cost counters.
+        never changes the metered cost counters. With ``strict=True`` the
+        plan is statically analyzed at build time and the run refuses
+        (:class:`repro.errors.AnalysisError`) on any ERROR finding.
         """
         executor = self.executor
-        if tracer is not None:
+        if tracer is not None or strict:
             executor = AnalyticsExecutor(workers=self.workers,
-                                         tracer=tracer)
+                                         tracer=tracer, strict=strict)
         if self.views.has_collection(target):
             collection: MaterializedCollection = \
                 self.views.get_collection(target)

@@ -255,8 +255,11 @@ class Collection:
     def _check_same_scope(self, other: "Collection") -> None:
         if other.scope is not self.scope:
             raise DataflowError(
-                f"collections are in different scopes "
-                f"({self.op.name} vs {other.op.name}); use scope.enter()")
+                f"collections are in different scopes: {self.op.name} is at "
+                f"scope depth {self.scope.depth} but {other.op.name} is at "
+                f"scope depth {other.scope.depth}; bring the outer "
+                f"collection in with scope.enter() (or leave() the inner "
+                f"one) before combining them")
 
 
 class Arrangement:

@@ -33,8 +33,38 @@ def _scope_ops(dataflow: Dataflow) -> Dict[Scope, List[Operator]]:
     return dataflow._ops_by_scope  # noqa: SLF001 - debug tooling
 
 
-def to_dot(dataflow: Dataflow) -> str:
-    """Render the dataflow as Graphviz DOT with scopes as clusters."""
+_FLAG_COLORS = {"error": "red", "warning": "yellow"}
+
+
+def _flagged_operators(report) -> Dict[int, str]:
+    """Worst finding severity per operator index, from an AnalysisReport.
+
+    Finding locations are operator paths (``.../name#index``, UDF
+    findings append `` udf <callable>``); the ``#index`` token addresses
+    the node.
+    """
+    import re
+
+    flagged: Dict[int, str] = {}
+    for finding in report.findings:
+        match = re.search(r"#(\d+)", finding.operator)
+        if match is None:
+            continue
+        index = int(match.group(1))
+        severity = finding.severity.value
+        if flagged.get(index) != "error":
+            flagged[index] = severity
+    return flagged
+
+
+def to_dot(dataflow: Dataflow, report=None) -> str:
+    """Render the dataflow as Graphviz DOT with scopes as clusters.
+
+    With ``report`` (a :class:`repro.analyze.AnalysisReport`), operators
+    carrying findings are filled red (ERROR) or yellow (WARNING), so the
+    analyzer's verdict is visible in the rendered graph.
+    """
+    flagged = _flagged_operators(report) if report is not None else {}
     lines = ["digraph dataflow {", "  rankdir=LR;"]
 
     def emit_scope(scope: Scope, indent: str) -> None:
@@ -46,8 +76,12 @@ def to_dot(dataflow: Dataflow) -> str:
                 shape = "diamond"
             elif isinstance(op, IterateOp):
                 shape = "octagon"
+            color = _FLAG_COLORS.get(flagged.get(op.index, ""))
+            style = (f' style=filled fillcolor={color}'
+                     if color is not None else "")
             lines.append(
-                f'{indent}n{op.index} [label="{op.name}" shape={shape}];')
+                f'{indent}n{op.index} [label="{op.name}" '
+                f'shape={shape}{style}];')
         for child in scope.children:
             lines.append(f"{indent}subgraph cluster_{id(child)} {{")
             lines.append(f'{indent}  label="iterate";')

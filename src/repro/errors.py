@@ -79,6 +79,27 @@ class InjectedFault(GraphsurgeError):
             f"{invocation}{detail}")
 
 
+class AnalysisError(GraphsurgeError):
+    """Strict mode refused a plan with ERROR-severity analyzer findings.
+
+    Carries the full :class:`repro.analyze.AnalysisReport` as ``report``
+    so callers can render every finding, not just the first.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        errors = report.errors()
+        head = errors[0] if errors else None
+        summary = (f"{head.rule} {head.operator}: {head.message}"
+                   if head is not None else "no findings")
+        more = f" (+{len(errors) - 1} more)" if len(errors) > 1 else ""
+        super().__init__(
+            f"static analysis found {len(errors)} ERROR finding(s); "
+            f"first: {summary}{more}. Run analyze() or the `analyze` CLI "
+            f"subcommand for the full report, or drop --strict to run "
+            f"anyway.")
+
+
 class BudgetExceededError(GraphsurgeError):
     """A :class:`repro.core.resilience.RunBudget` limit was crossed.
 

@@ -3,8 +3,9 @@
 The package cross-checks every execution mode of the analytics engine
 against plain-Python oracles on randomized view collections, checks the
 metamorphic invariants the engine's optimizers promise (worker count,
-view order, checkpoint/resume, tracing), shrinks failures, and writes
-replayable repro files. See ``docs/verification.md``.
+view order, checkpoint/resume, tracing, static-analyzer stability),
+shrinks failures, and writes replayable repro files. See
+``docs/verification.md``.
 """
 
 from repro.verify.generator import (
@@ -18,6 +19,7 @@ from repro.verify.invariants import (
     INVARIANTS,
     Mismatch,
     build_check,
+    check_analysis,
     check_checkpoint,
     check_oracle,
     check_permutation,
@@ -57,6 +59,7 @@ __all__ = [
     "algorithm_names",
     "build_check",
     "canonical_diff",
+    "check_analysis",
     "check_checkpoint",
     "check_oracle",
     "check_permutation",

@@ -21,6 +21,10 @@ Invariants:
   per-view outputs versus the uninterrupted run.
 * **tracing** — attaching a :class:`TraceSink` never changes outputs or
   the metered counters.
+* **analysis** — the static analyzer's verdict (see :mod:`repro.analyze`)
+  is a pure function of the plan: an analyzer-clean plan stays clean
+  after executing it and under view-order permutation, and re-analyzing
+  an executed dataflow reports the same findings as the pristine one.
 """
 
 from __future__ import annotations
@@ -46,7 +50,8 @@ from repro.verify.oracles import (
 )
 
 #: Invariant names understood by :func:`build_check` / the repro replayer.
-INVARIANTS = ("oracle", "workers", "permutation", "checkpoint", "tracing")
+INVARIANTS = ("oracle", "workers", "permutation", "checkpoint", "tracing",
+              "analysis")
 
 
 @dataclass
@@ -248,6 +253,57 @@ def check_tracing(collection: MaterializedCollection, spec: AlgorithmSpec,
     return None
 
 
+# -- static-analysis stability -----------------------------------------------
+
+
+def check_analysis(collection: MaterializedCollection, spec: AlgorithmSpec,
+                   params: dict, perm_seed: int = 0) -> Optional[Mismatch]:
+    """The analyzer's verdict is a pure function of the plan.
+
+    Three statements, all falsifiable here: the built-in plans are
+    analyzer-clean (no ERROR findings); re-analyzing the *same* dataflow
+    after executing it reports identical findings (the passes read only
+    the operator DAG, never runtime state); and rebuilding + re-running
+    under a permuted view order leaves a fresh plan's verdict unchanged.
+    """
+    from repro.analyze import analyze, analyze_computation
+    from repro.differential.dataflow import Dataflow
+    from repro.graph.edge_stream import EdgeStream
+
+    check = {"invariant": "analysis", "perm_seed": perm_seed}
+    computation = spec.computation(params)
+    dataflow = Dataflow()
+    result = computation.build(dataflow, dataflow.new_input("edges"))
+    dataflow.capture(result, "results")
+    before = analyze(dataflow)
+    if not before.ok:
+        head = before.errors()[0]
+        return Mismatch(
+            "analysis", spec.name,
+            f"plan has {len(before.errors())} ERROR finding(s); first: "
+            f"{head.rule} {head.operator}: {head.message}", check=check)
+    stream = EdgeStream(list(collection.full_view_edges(0)))
+    dataflow.step(
+        {"edges": stream.as_input_diff(directed=computation.directed)})
+    executed = analyze(dataflow)
+    if executed.to_dict() != before.to_dict():
+        return Mismatch(
+            "analysis", spec.name,
+            "re-analyzing the executed dataflow changed the verdict "
+            "(analysis must not read runtime state)", check=check)
+    if collection.num_views >= 2 and collection.total_diffs > 0:
+        permuted = reorder_collection(collection, order_method="random",
+                                      seed=perm_seed)
+        _run(permuted, spec, params, ExecutionMode.DIFF_ONLY)
+        rebuilt = analyze_computation(computation)
+        if rebuilt.to_dict() != before.to_dict():
+            return Mismatch(
+                "analysis", spec.name,
+                "analyzer verdict changed under view-order permutation",
+                check=check)
+    return None
+
+
 # -- dispatch for shrink / replay --------------------------------------------
 
 
@@ -275,5 +331,9 @@ def build_check(spec: AlgorithmSpec, params: dict, check: Dict[str, Any]
                                                    kill_at=kill_at)
     if invariant == "tracing":
         return lambda collection: check_tracing(collection, spec, params)
+    if invariant == "analysis":
+        seed = int(check.get("perm_seed", 0))
+        return lambda collection: check_analysis(collection, spec, params,
+                                                 perm_seed=seed)
     raise GraphsurgeError(f"unknown invariant {invariant!r}; expected one "
                           f"of {INVARIANTS}")

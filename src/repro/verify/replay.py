@@ -49,6 +49,10 @@ class ReproFile:
     collection: MaterializedCollection
     gvdl_text: Optional[str] = None
     shrink_info: Dict[str, Any] = field(default_factory=dict)
+    #: Static-analysis verdict of the failing plan
+    #: (``AnalysisReport.to_dict()``), recorded by the fuzz runner so a
+    #: repro carries the analyzer's view of the plan it pins.
+    analysis: Optional[Dict[str, Any]] = None
 
 
 def _digest(payload: dict) -> str:
@@ -70,6 +74,7 @@ def write_repro(path: PathLike, repro: ReproFile) -> Path:
         "collection": collection_payload(repro.collection),
         "gvdl_text": repro.gvdl_text,
         "shrink_info": repro.shrink_info,
+        "analysis": repro.analysis,
     }
     envelope = {
         "format": REPRO_FORMAT,
@@ -111,6 +116,7 @@ def load_repro(path: PathLike) -> ReproFile:
             collection=collection_from_payload(payload["collection"]),
             gvdl_text=payload.get("gvdl_text"),
             shrink_info=dict(payload.get("shrink_info", {})),
+            analysis=payload.get("analysis"),
         )
     except (KeyError, TypeError, ValueError) as error:
         raise StoreError(f"malformed repro file {path}: "

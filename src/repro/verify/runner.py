@@ -3,9 +3,10 @@
 Per iteration the runner generates one seeded case, runs **every**
 selected algorithm under **every** :class:`ExecutionMode` against its
 oracle, then runs the metamorphic battery (worker invariance, view-order
-permutation, checkpoint/kill/resume, tracing on/off) for one rotating
-algorithm. The first violated check is shrunk to a minimal collection
-and written as a replayable repro file.
+permutation, checkpoint/kill/resume, tracing on/off, static-analyzer
+stability) for one rotating algorithm. The first violated check is
+shrunk to a minimal collection and written as a replayable repro file
+that also records the plan's analyzer findings.
 
 Deterministic end to end: ``FuzzConfig(seed=...)`` fixes the case
 stream, every sampled parameter, the kill sites, and the permutation
@@ -24,6 +25,7 @@ from repro.verify.generator import GeneratedCase, generate_case
 from repro.verify.invariants import (
     Mismatch,
     build_check,
+    check_analysis,
     check_checkpoint,
     check_oracle,
     check_permutation,
@@ -138,6 +140,8 @@ def run_fuzz(config: FuzzConfig,
                     kill_at=rng.randrange(
                         1, max(2, case.collection.num_views))),
                 lambda: check_tracing(case.collection, spec, params),
+                lambda: check_analysis(case.collection, spec, params,
+                                       perm_seed=rng.randrange(2 ** 16)),
             )
             for run_check in battery:
                 mismatch = run_check()
@@ -167,6 +171,15 @@ def _report_failure(config: FuzzConfig, report: FuzzReport,
     say(f"shrunk to {result.collection.num_views} view(s) / "
         f"{result.collection.total_diffs} diff(s) after "
         f"{result.checks_run} check(s)")
+    try:
+        # Record the failing plan's static-analysis verdict alongside the
+        # repro: an ERROR/WARNING finding on a plan whose run just
+        # diverged is the first place to look.
+        from repro.analyze import analyze_computation
+
+        analysis = analyze_computation(spec.computation(params)).to_dict()
+    except Exception as error:  # pragma: no cover - diagnostics must not
+        analysis = {"error": f"{type(error).__name__}: {error}"}  # block repro
     repro = ReproFile(
         seed=case.seed,
         kind=case.kind,
@@ -182,6 +195,7 @@ def _report_failure(config: FuzzConfig, report: FuzzReport,
             "diffs_dropped": result.diffs_dropped,
             "original_views": case.collection.num_views,
         },
+        analysis=analysis,
     )
     path = write_repro(config.repro_out, repro)
     say(f"wrote repro file {path}")

@@ -1,0 +1,1 @@
+"""The static plan analyzer and UDF determinism linter."""

@@ -1,0 +1,222 @@
+"""Planted-defect battery for the UDF determinism rules (GS-U2xx)."""
+
+import random
+
+from repro.analyze import analyze
+from repro.differential import Dataflow
+
+
+def lint(attach):
+    """Build a one-operator dataflow via ``attach(edges)`` and analyze it."""
+    df = Dataflow()
+    edges = df.new_input("edges")
+    df.capture(attach(edges), "out")
+    return analyze(df)
+
+
+def rules_of(report):
+    return {finding.rule for finding in report.findings}
+
+
+def findings_for(report, rule):
+    return [f for f in report.findings if f.rule == rule]
+
+
+class TestNondeterministicCalls:
+    """GS-U201: random / clock / identity sources inside callables."""
+
+    def test_trigger_random_module(self):
+        report = lint(lambda edges: edges.map(
+            lambda rec: (rec, random.random())))
+        hits = findings_for(report, "GS-U201")
+        assert hits
+        assert hits[0].severity.value == "error"
+        assert "random.random()" in hits[0].message
+        assert "udf" in hits[0].operator
+
+    def test_trigger_rng_method_on_any_receiver(self):
+        rng = random.Random(0)
+        report = lint(lambda edges: edges.map(lambda rec: rng.choice([rec])))
+        assert findings_for(report, "GS-U201")
+
+    def test_trigger_bare_id(self):
+        report = lint(lambda edges: edges.map(lambda rec: (id(rec), rec)))
+        hits = findings_for(report, "GS-U201")
+        assert hits and "id()" in hits[0].message
+
+    def test_near_miss_plain_arithmetic(self):
+        report = lint(lambda edges: edges.map(
+            lambda rec: (rec[0], max(rec[1], 0) + 1)))
+        assert "GS-U201" not in rules_of(report)
+
+    def test_near_miss_random_as_record_field_name(self):
+        # Attribute *access* named like a hazard is fine; only calls count.
+        def shuffle_free(rec):
+            return (rec, len("random"))
+
+        report = lint(lambda edges: edges.map(shuffle_free))
+        assert "GS-U201" not in rules_of(report)
+
+
+class TestUnorderedIteration:
+    """GS-U202: set/dict iteration order reaching the output."""
+
+    def test_trigger_list_built_from_set(self):
+        def expand(rec):
+            return [(rec, tag) for tag in {"a", "b"}]
+
+        report = lint(lambda edges: edges.flat_map(expand))
+        hits = findings_for(report, "GS-U202")
+        assert hits
+        assert "hash-dependent" in hits[0].message
+
+    def test_trigger_for_loop_over_dict_values(self):
+        def logic(key, vals):
+            out = []
+            for value in vals.keys():
+                out.append(value)
+            return out[:1]
+
+        report = lint(lambda edges: edges.reduce(logic))
+        assert findings_for(report, "GS-U202")
+
+    def test_near_miss_sum_over_dict_items(self):
+        report = lint(lambda edges: edges.reduce(
+            lambda key, vals: [sum(v * m for v, m in vals.items())]))
+        assert "GS-U202" not in rules_of(report)
+
+    def test_near_miss_sorted_set(self):
+        def expand(rec):
+            return [(rec, tag) for tag in sorted({"a", "b"})]
+
+        report = lint(lambda edges: edges.flat_map(expand))
+        assert "GS-U202" not in rules_of(report)
+
+    def test_suppression_comment_on_offending_line(self):
+        def logic(key, vals):
+            best = None
+            for value in vals.keys():  # analyze: ignore[GS-U202]
+                best = value if best is None else min(best, value)
+            return [best]
+
+        report = lint(lambda edges: edges.reduce(logic))
+        assert "GS-U202" not in rules_of(report)
+        assert report.suppressed >= 1
+
+
+class TestMutableDefaults:
+    """GS-U203: shared default containers."""
+
+    def test_trigger_list_default(self):
+        def tag(rec, seen=[]):
+            seen.append(rec)
+            return (rec, len(seen))
+
+        report = lint(lambda edges: edges.map(tag))
+        assert findings_for(report, "GS-U203")
+
+    def test_near_miss_none_default(self):
+        def tag(rec, seen=None):
+            local = [] if seen is None else seen
+            local.append(rec)
+            return (rec, len(local))
+
+        report = lint(lambda edges: edges.map(tag))
+        assert "GS-U203" not in rules_of(report)
+
+
+class TestExternalMutation:
+    """GS-U204: writes escaping the callable's own frame."""
+
+    def test_trigger_write_to_closed_over_dict(self):
+        cache = {}
+
+        def memo(rec):
+            cache[rec] = rec
+            return rec
+
+        report = lint(lambda edges: edges.map(memo))
+        hits = findings_for(report, "GS-U204")
+        assert hits
+        assert hits[0].severity.value == "error"
+        assert "'cache'" in hits[0].message
+
+    def test_trigger_append_to_closed_over_list(self):
+        seen = []
+        report = lint(lambda edges: edges.filter(
+            lambda rec: seen.append(rec) is None))
+        assert findings_for(report, "GS-U204")
+
+    def test_trigger_global_declaration(self):
+        def bump(rec):
+            global _counter
+            _counter = rec
+            return rec
+
+        report = lint(lambda edges: edges.map(bump))
+        hits = findings_for(report, "GS-U204")
+        assert hits and "global/nonlocal" in hits[0].message
+
+    def test_near_miss_local_mutation_is_fine(self):
+        def expand(rec):
+            out = []
+            out.append((rec, 0))
+            out.append((rec, 1))
+            return out
+
+        report = lint(lambda edges: edges.flat_map(expand))
+        assert "GS-U204" not in rules_of(report)
+
+    def test_near_miss_inspect_taps_may_mutate(self):
+        # Observing into a buffer is inspect's entire purpose.
+        seen = []
+        report = lint(lambda edges: edges.inspect(
+            lambda rec: seen.append(rec)))
+        assert "GS-U204" not in rules_of(report)
+
+
+class TestHashRule:
+    """GS-U205: hash() varies across interpreter runs."""
+
+    def test_trigger_hash_call(self):
+        report = lint(lambda edges: edges.map(
+            lambda rec: (hash(str(rec)) % 7, rec)))
+        hits = findings_for(report, "GS-U205")
+        assert hits
+        assert "stable_hash" in hits[0].hint
+
+    def test_near_miss_stable_hash(self):
+        from repro.timely import stable_hash
+
+        report = lint(lambda edges: edges.map(
+            lambda rec: (stable_hash(rec) % 7, rec)))
+        assert "GS-U205" not in rules_of(report)
+
+
+class TestLinterMechanics:
+    def test_builtin_callable_skipped_not_failed(self):
+        report = lint(lambda edges: edges.map(repr))
+        assert report.udfs_skipped >= 1
+        assert not report.findings
+
+    def test_two_lambdas_on_one_line_are_distinguished(self):
+        df = Dataflow()
+        edges = df.new_input("edges")
+        clean, dirty = lambda r: r, lambda r: (r, random.random())
+        df.capture(edges.map(clean, name="clean").map(dirty, name="dirty"),
+                   "out")
+        report = analyze(df)
+        hits = findings_for(report, "GS-U201")
+        assert len(hits) == 1
+        assert "dirty" in hits[0].operator
+
+    def test_shared_callable_linted_once_reported_per_site(self):
+        def noisy(rec):
+            return (rec, random.random())
+
+        df = Dataflow()
+        edges = df.new_input("edges")
+        df.capture(edges.map(noisy, name="one"), "o1")
+        df.capture(edges.map(noisy, name="two"), "o2")
+        report = analyze(df)
+        assert len(findings_for(report, "GS-U201")) == 2

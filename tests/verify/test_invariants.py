@@ -8,6 +8,7 @@ from repro.errors import GraphsurgeError
 from repro.verify.generator import random_churn_collection
 from repro.verify.invariants import (
     build_check,
+    check_analysis,
     check_checkpoint,
     check_oracle,
     check_permutation,
@@ -52,6 +53,9 @@ class TestChecksPassOnHealthyEngine:
     def test_tracing(self, collection):
         assert check_tracing(collection, WCC, {}) is None
 
+    def test_analysis(self, collection):
+        assert check_analysis(collection, WCC, {}, perm_seed=5) is None
+
 
 class TestChecksCatchViolations:
     def test_oracle_mismatch_reported_with_view(self, collection):
@@ -75,6 +79,19 @@ class TestChecksCatchViolations:
     def test_build_check_rejects_unknown_invariant(self):
         with pytest.raises(GraphsurgeError):
             build_check(WCC, {}, {"invariant": "gremlins"})
+
+    def test_analysis_flags_error_findings(self, collection):
+        from tests.analyze.test_gating import BadLoop
+
+        unsound = AlgorithmSpec("wcc", BadLoop, lambda edges: {})
+        mismatch = check_analysis(collection, unsound, {})
+        assert mismatch is not None
+        assert mismatch.invariant == "analysis"
+        assert "GS-P102" in mismatch.detail
+        # The recorded descriptor rebuilds the same check.
+        rebuilt = build_check(unsound, {}, mismatch.check)(collection)
+        assert rebuilt is not None and rebuilt.invariant == "analysis"
+        assert build_check(WCC, {}, mismatch.check)(collection) is None
 
 
 class TestOutputMap:

@@ -72,6 +72,8 @@ class TestMutationIsCaught:
         repro = load_repro(out)
         assert repro.algorithm == "degrees"
         assert repro.collection.num_views <= 3
+        # The repro records the failing plan's static-analysis verdict.
+        assert repro.analysis is not None and repro.analysis["ok"]
         # Still failing while the mutation is planted...
         assert replay_repro(out) is not None
         # ...and green again once the operator is fixed.

@@ -70,7 +70,8 @@ class TestReproFiles:
                          detail=result.mismatch.detail,
                          collection=result.collection,
                          shrink_info={"views_dropped":
-                                      result.views_dropped})
+                                      result.views_dropped},
+                         analysis={"ok": True, "findings": []})
 
     def test_round_trip(self, tmp_path):
         repro = self._repro()
@@ -82,6 +83,7 @@ class TestReproFiles:
         assert loaded.collection.num_views == repro.collection.num_views
         assert loaded.collection.diffs == repro.collection.diffs
         assert loaded.shrink_info == repro.shrink_info
+        assert loaded.analysis == {"ok": True, "findings": []}
 
     def test_checksum_rejects_tampering(self, tmp_path):
         path = write_repro(tmp_path / "r.json", self._repro())
