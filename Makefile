@@ -5,7 +5,7 @@ export PYTHONPATH := src
 FUZZ_SEED ?= 7
 FUZZ_ITERATIONS ?= 25
 
-.PHONY: test analyze fuzz fuzz-soak bench
+.PHONY: test analyze fuzz fuzz-soak bench serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,3 +29,9 @@ fuzz-soak:
 bench:
 	$(PYTHON) benchmarks/bench_hotpath.py --check BENCH_engine.json \
 		--tolerance 0.25
+
+# Boot the real daemon, drive it over HTTP (health, GVDL, cached run,
+# mutation, delta recompute), SIGTERM it, and assert a clean drained
+# shutdown with a valid session checkpoint. See docs/serving.md.
+serve-smoke:
+	$(PYTHON) -m repro.serve.smoke

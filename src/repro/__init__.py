@@ -26,6 +26,8 @@ __all__ = [
     "RetryPolicy",
     "FaultPlan",
     "AnalysisReport",
+    "ServeApp",
+    "ServeSession",
     "analyze",
     "analyze_computation",
     "__version__",
@@ -40,6 +42,8 @@ _LAZY = {
     "RetryPolicy": ("repro.core.resilience", "RetryPolicy"),
     "FaultPlan": ("repro.core.resilience", "FaultPlan"),
     "AnalysisReport": ("repro.analyze", "AnalysisReport"),
+    "ServeApp": ("repro.serve", "ServeApp"),
+    "ServeSession": ("repro.serve", "ServeSession"),
     "analyze": ("repro.analyze", "analyze"),
     "analyze_computation": ("repro.analyze", "analyze_computation"),
 }

@@ -12,6 +12,7 @@ Result records: ``(vertex, k)`` for the members of the k-core.
 from __future__ import annotations
 
 from repro.core.computation import GraphComputation
+from repro.errors import ConfigError
 
 
 class KCore(GraphComputation):
@@ -22,7 +23,7 @@ class KCore(GraphComputation):
 
     def __init__(self, k: int):
         if k < 1:
-            raise ValueError("k must be >= 1")
+            raise ConfigError("k must be >= 1")
         self.k = k
         self.name = f"KCORE{k}"
 

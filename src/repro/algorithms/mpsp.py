@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from repro.core.computation import GraphComputation
+from repro.errors import ConfigError
 
 
 def _min_per_source(key, vals):
@@ -36,7 +37,7 @@ class Mpsp(GraphComputation):
 
     def __init__(self, pairs: Sequence[Tuple[int, int]]):
         if not pairs:
-            raise ValueError("MPSP needs at least one (src, dst) pair")
+            raise ConfigError("MPSP needs at least one (src, dst) pair")
         self.pairs: List[Tuple[int, int]] = list(pairs)
 
     def build(self, dataflow, edges):

@@ -18,6 +18,7 @@ is why running it differentially across dissimilar views loses to scratch
 from __future__ import annotations
 
 from repro.core.computation import GraphComputation
+from repro.errors import ConfigError
 
 SCALE = 1_000_000
 DAMPING_NUM = 85
@@ -40,9 +41,9 @@ class PageRank(GraphComputation):
 
     def __init__(self, iterations: int = 10, quantum: int = SCALE // 1000):
         if iterations < 1:
-            raise ValueError("iterations must be >= 1")
+            raise ConfigError("iterations must be >= 1")
         if quantum < 1:
-            raise ValueError("quantum must be >= 1")
+            raise ConfigError("quantum must be >= 1")
         self.iterations = iterations
         self.quantum = quantum
 

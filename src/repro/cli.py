@@ -22,6 +22,10 @@ Subcommands:
   cross-checked against scratch recomputation and the metamorphic
   invariants (see docs/verification.md). ``--replay FILE`` re-runs a
   previously written repro file.
+* ``serve`` — run the always-on analytics daemon: one resident session
+  answers GVDL and analytics requests over HTTP with a result cache,
+  admission control, circuit breakers, per-request deadlines, and
+  graceful checkpointing shutdown (see docs/serving.md).
 * ``analyze`` — static plan analysis + UDF determinism linting over the
   built-in algorithms (and ``--generated N`` fuzzer-derived plans)
   without executing anything; exits 1 on any ERROR finding (see
@@ -208,6 +212,50 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--quiet", action="store_true",
                          help="print only per-plan verdict lines and the "
                               "summary")
+
+    serve = subcommands.add_parser(
+        "serve", help="run the always-on analytics daemon: resident "
+                      "session state, result cache, request hardening "
+                      "(see docs/serving.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8850,
+                       help="TCP port; 0 picks an ephemeral port "
+                            "(default 8850)")
+    serve.add_argument("--max-inflight", type=int, default=4,
+                       help="concurrently executing requests "
+                            "(default 4)")
+    serve.add_argument("--max-queue", type=int, default=16,
+                       help="requests allowed to wait for admission; "
+                            "past this they are shed with 429 "
+                            "(default 16)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-request wall-clock budget; exhaustion "
+                            "answers 503 (default: none)")
+    serve.add_argument("--max-work", type=int, default=None,
+                       help="per-request work-unit budget (default: none)")
+    serve.add_argument("--checkpoint", default=None, metavar="FILE",
+                       help="session journal: restored on boot, written "
+                            "on graceful shutdown")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="recompute retries before degrading to a "
+                            "stale cached result (default 1)")
+    serve.add_argument("--retry-backoff", type=float, default=0.05,
+                       help="base backoff seconds, doubled per retry "
+                            "(default 0.05)")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive failures that open an "
+                            "algorithm's circuit breaker (default 3)")
+    serve.add_argument("--breaker-reset", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="seconds an open breaker waits before "
+                            "half-opening (default 30)")
+    serve.add_argument("--cache-capacity", type=int, default=256,
+                       help="result cache entries (default 256)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="seconds to wait for in-flight requests on "
+                            "shutdown (default 10)")
 
     fuzz = subcommands.add_parser(
         "fuzz", help="fuzz randomized view collections against the "
@@ -426,6 +474,41 @@ def _analyze(args: argparse.Namespace) -> int:
     return 1 if errors else 0
 
 
+def _serve(session: Graphsurge, args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.resilience import RetryPolicy
+    from repro.serve import (
+        AdmissionController,
+        BreakerBoard,
+        ResultCache,
+        ServeApp,
+        ServeSession,
+        run_server,
+    )
+
+    serve_session = ServeSession(system=session)
+    retry_policy = None
+    if args.retries > 0:
+        retry_policy = RetryPolicy(max_retries=args.retries,
+                                   backoff_seconds=args.retry_backoff)
+    app = ServeApp(
+        serve_session,
+        cache=ResultCache(capacity=args.cache_capacity),
+        admission=AdmissionController(max_inflight=args.max_inflight,
+                                      max_queue=args.max_queue),
+        breakers=BreakerBoard(failure_threshold=args.breaker_threshold,
+                              reset_seconds=args.breaker_reset),
+        retry_policy=retry_policy,
+        deadline_seconds=args.deadline,
+        max_work=args.max_work,
+    )
+    asyncio.run(run_server(app, host=args.host, port=args.port,
+                           checkpoint_path=args.checkpoint,
+                           drain_timeout=args.drain_timeout))
+    return 0
+
+
 def _fuzz(args: argparse.Namespace) -> int:
     from repro.verify import FuzzConfig, replay_repro, run_fuzz
 
@@ -467,6 +550,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _run(session, args)
         elif args.command == "profile":
             _profile(session, args)
+        elif args.command == "serve":
+            return _serve(session, args)
         elif args.command in (None, "gvdl"):
             pass
     except (GraphsurgeError, OSError) as error:

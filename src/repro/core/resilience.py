@@ -32,7 +32,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.errors import BudgetExceededError, CheckpointError, InjectedFault
+from repro.errors import (
+    BudgetExceededError,
+    CheckpointError,
+    ConfigError,
+    InjectedFault,
+)
 
 PathLike = Union[str, Path]
 
@@ -62,7 +67,7 @@ class RunBudget:
                             ("max_work", max_work),
                             ("max_iterations", max_iterations)):
             if value is not None and value <= 0:
-                raise ValueError(f"{name} must be positive, got {value}")
+                raise ConfigError(f"{name} must be positive, got {value}")
         self.max_wall_seconds = max_wall_seconds
         self.max_work = max_work
         self.max_iterations = max_iterations
@@ -125,11 +130,11 @@ class FaultSpec:
 
     def __post_init__(self):
         if self.site not in FAULT_SITES:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown fault site {self.site!r}; expected one of "
                 f"{FAULT_SITES}")
         if self.kind not in ("raise", "corrupt"):
-            raise ValueError(f"unknown fault kind {self.kind!r}")
+            raise ConfigError(f"unknown fault kind {self.kind!r}")
         object.__setattr__(self, "fires", tuple(sorted(set(self.fires))))
 
 
@@ -161,8 +166,8 @@ class FaultPlan:
         run "at a random view" is still exactly reproducible.
         """
         if hi - lo < count:
-            raise ValueError(f"range [{lo}, {hi}) too small for {count} "
-                             f"faults")
+            raise ConfigError(f"range [{lo}, {hi}) too small for {count} "
+                              f"faults")
         fires = tuple(random.Random(seed).sample(range(lo, hi), count))
         return cls([FaultSpec(site, fires, kind)])
 
@@ -193,29 +198,63 @@ class FaultPlan:
 
 @dataclass
 class RetryPolicy:
-    """Bounded per-view retries with exponential backoff.
+    """Bounded per-view retries with exponential backoff and jitter.
 
     The executor gives the view's planned strategy ``max_retries`` retries
     (each on a freshly rebuilt dataflow); if a differential view keeps
     failing it *degrades* to a from-scratch run of just that view, which
-    again gets ``max_retries`` retries. ``sleep`` is injectable for tests.
+    again gets ``max_retries`` retries. The serving layer reuses the same
+    policy for per-request recompute retries.
+
+    The base delay grows exponentially (``backoff_seconds`` scaled by
+    ``backoff_factor`` per further retry, capped by ``max_delay_seconds``);
+    ``jitter_seconds`` adds a uniformly drawn extra delay from a private
+    RNG seeded with ``jitter_seed`` — two policies constructed with the
+    same seed produce the *same* delay sequence, so backoff behaviour is
+    exactly reproducible in tests. ``sleep`` and the RNG are injectable so
+    tests never sleep real wall-clock.
     """
 
     max_retries: int = 2
     backoff_seconds: float = 0.0
     backoff_factor: float = 2.0
+    jitter_seconds: float = 0.0
+    jitter_seed: int = 0
+    max_delay_seconds: Optional[float] = None
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
 
     def __post_init__(self):
         if self.max_retries < 0:
-            raise ValueError(
+            raise ConfigError(
                 f"max_retries must be >= 0, got {self.max_retries}")
+        if self.jitter_seconds < 0:
+            raise ConfigError(
+                f"jitter_seconds must be >= 0, got {self.jitter_seconds}")
+        if self.max_delay_seconds is not None and self.max_delay_seconds <= 0:
+            raise ConfigError(
+                f"max_delay_seconds must be positive, got "
+                f"{self.max_delay_seconds}")
+        self._rng = random.Random(self.jitter_seed)
 
-    def delay_before(self, retry_number: int) -> float:
-        """Backoff before the ``retry_number``-th retry (1-based)."""
+    def base_delay(self, retry_number: int) -> float:
+        """Deterministic exponential component before jitter (1-based)."""
         if retry_number <= 1 or self.backoff_factor <= 0:
             return self.backoff_seconds
         return self.backoff_seconds * self.backoff_factor ** (retry_number - 1)
+
+    def delay_before(self, retry_number: int) -> float:
+        """Full delay before the ``retry_number``-th retry (1-based).
+
+        Draws from the policy's private seeded RNG when jitter is
+        configured, so consecutive calls advance the jitter sequence
+        deterministically.
+        """
+        delay = self.base_delay(retry_number)
+        if self.jitter_seconds > 0:
+            delay += self._rng.uniform(0.0, self.jitter_seconds)
+        if self.max_delay_seconds is not None:
+            delay = min(delay, self.max_delay_seconds)
+        return delay
 
     def pause(self, retry_number: int) -> None:
         delay = self.delay_before(retry_number)

@@ -76,6 +76,33 @@ class Graphsurge:
         """Register an in-memory graph (e.g. from the dataset generators)."""
         self.graphs.add(graph, name)
 
+    def mutate_graph(self, name: str, add_nodes=(), add_edges=(),
+                     retract_edges=()) -> dict:
+        """Append/retract against a base graph in place.
+
+        ``add_nodes`` — iterable of ``(node_id, properties)``;
+        ``add_edges`` — iterable of ``(src, dst, properties)``;
+        ``retract_edges`` — iterable of ``(src, dst)`` pairs, each removing
+        *all* matching edges. Returns mutation counts. Views and
+        collections previously materialized from the graph are **not**
+        updated — callers that serve them (the :mod:`repro.serve` session)
+        must re-materialize; see :meth:`repro.serve.session.ServeSession.mutate`.
+        """
+        if name not in self.graphs:
+            raise UnknownGraphError(f"unknown base graph {name!r}")
+        graph = self.graphs.get(name)
+        nodes_added = edges_added = edges_removed = 0
+        for node_id, properties in add_nodes:
+            graph.add_node(int(node_id), properties)
+            nodes_added += 1
+        for src, dst, properties in add_edges:
+            graph.add_edge(int(src), int(dst), properties)
+            edges_added += 1
+        for src, dst in retract_edges:
+            edges_removed += graph.remove_edges(int(src), int(dst))
+        return {"nodes_added": nodes_added, "edges_added": edges_added,
+                "edges_removed": edges_removed}
+
     def resolve(self, name: str) -> PropertyGraph:
         """Find a base graph or a materialized (filtered/aggregate) view."""
         if name in self.graphs:

@@ -25,6 +25,7 @@ from repro.core.diff_stream import (
 from repro.core.ebm import EdgeBooleanMatrix, build_ebm
 from repro.core.ordering.optimizer import OrderingResult, order_collection
 from repro.differential.multiset import Diff
+from repro.errors import ConfigError
 from repro.graph.edge_stream import edge_diff_to_input
 from repro.graph.property_graph import PropertyGraph
 from repro.gvdl.ast import Predicate
@@ -183,7 +184,7 @@ def collection_from_diffs(name: str, diffs: Sequence[EdgeDiff],
     names = list(view_names) if view_names is not None else [
         f"view-{i}" for i in range(len(diffs))]
     if len(names) != len(diffs):
-        raise ValueError("one name per difference set is required")
+        raise ConfigError("one name per difference set is required")
     return MaterializedCollection(
         name=name,
         source=source,

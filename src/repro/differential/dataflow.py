@@ -205,6 +205,17 @@ class Dataflow:
         raise DataflowError(
             f"dataflow failed to quiesce at epoch {self.epoch}")
 
+    def set_budget(self, budget) -> None:
+        """Attach (or with ``None`` detach) a budget to a live dataflow.
+
+        Long-lived dataflows (the serving layer's resident sessions) swap a
+        fresh per-request budget in before each ``step``; charging restarts
+        from the current meter reading so the new budget only pays for work
+        done on its watch.
+        """
+        self.budget = budget
+        self._budget_charged = self.meter.total_work
+
     def enforce_budget(self, site: str) -> None:
         """Charge newly metered work to the budget and enforce its limits.
 

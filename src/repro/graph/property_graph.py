@@ -48,6 +48,7 @@ class PropertyGraph:
         self.edge_schema = edge_schema or Schema()
         self.nodes: Dict[int, Node] = {}
         self.edges: List[Edge] = []
+        self._next_edge_id = 0
 
     # -- construction ---------------------------------------------------------
 
@@ -70,9 +71,30 @@ class PropertyGraph:
         props = dict(properties or {})
         if len(self.edge_schema):
             props = self.edge_schema.coerce_row(props)
-        edge = Edge(len(self.edges), src, dst, props)
+        edge = Edge(self._next_edge_id, src, dst, props)
+        self._next_edge_id += 1
         self.edges.append(edge)
         return edge
+
+    def remove_edges(self, src: int, dst: int,
+                     limit: Optional[int] = None) -> int:
+        """Retract edges matching ``(src, dst)``; returns how many fell.
+
+        Edge ids are never reused after a removal (``add_edge`` draws from
+        a monotonic counter), so difference streams keyed by edge id stay
+        unambiguous across mutations. With ``limit`` only the first
+        ``limit`` matches are removed.
+        """
+        kept: List[Edge] = []
+        removed = 0
+        for edge in self.edges:
+            if (edge.src == src and edge.dst == dst
+                    and (limit is None or removed < limit)):
+                removed += 1
+            else:
+                kept.append(edge)
+        self.edges = kept
+        return removed
 
     # -- inspection -----------------------------------------------------------
 

@@ -40,11 +40,18 @@ from repro.observe.profile import (
     ProfileReport,
     ViewProfile,
 )
-from repro.observe.tracer import UNTRACKED, SpanEvent, StepRecord, TraceSink
+from repro.observe.tracer import (
+    UNTRACKED,
+    SpanEvent,
+    StepRecord,
+    TraceSink,
+    attached,
+)
 
 __all__ = [
     "CollectionProfile",
     "UNTRACKED",
+    "attached",
     "CriticalPathReport",
     "PathContributor",
     "ProfileReport",

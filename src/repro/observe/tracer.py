@@ -18,6 +18,7 @@ observes, it never feeds back into the meter.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -214,3 +215,26 @@ class TraceSink:
             serial.index = len(self.steps)
             self.steps.append(serial)
         self._serial = None
+
+
+@contextmanager
+def attached(dataflow, sink: Optional[TraceSink]):
+    """Temporarily attach ``sink`` to a live dataflow (per-request tracing).
+
+    The serving layer keeps dataflows resident across requests; a request
+    that asks for a profile attaches a fresh sink around its ``step`` and
+    detaches it afterwards, so other requests on the same session pay the
+    zero-overhead ``is None`` path. With ``sink=None`` this is a no-op.
+    """
+    if sink is None:
+        yield
+        return
+    previous_dataflow = dataflow.tracer
+    previous_meter = dataflow.meter.tracer
+    dataflow.tracer = sink
+    dataflow.meter.tracer = sink
+    try:
+        yield
+    finally:
+        dataflow.tracer = previous_dataflow
+        dataflow.meter.tracer = previous_meter

@@ -1,0 +1,74 @@
+"""Admission control: a bounded concurrency gate with explicit shedding.
+
+Unbounded queueing converts overload into unbounded latency; the daemon
+instead holds at most ``max_inflight`` requests in execution and
+``max_queue`` waiting. A request arriving past both bounds is *shed*
+immediately with :class:`repro.errors.OverloadedError` (HTTP 429) — a
+machine-readable "try later", never a hung connection.
+
+The controller is also the drain point for graceful shutdown: lifecycle
+waits on :meth:`drained` until the last admitted request leaves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict
+
+from repro.errors import ConfigError, OverloadedError
+
+
+class AdmissionController:
+    """An async context manager gating request execution."""
+
+    def __init__(self, max_inflight: int = 4, max_queue: int = 16):
+        if max_inflight < 1:
+            raise ConfigError(
+                f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ConfigError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self._semaphore = asyncio.Semaphore(max_inflight)
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.inflight = 0
+        self.queued = 0
+        self.admitted = 0
+        self.shed = 0
+
+    async def __aenter__(self) -> "AdmissionController":
+        if self.inflight >= self.max_inflight and \
+                self.queued >= self.max_queue:
+            self.shed += 1
+            raise OverloadedError(self.inflight, self.queued,
+                                  self.max_inflight, self.max_queue)
+        self.queued += 1
+        try:
+            await self._semaphore.acquire()
+        finally:
+            self.queued -= 1
+        self.inflight += 1
+        self.admitted += 1
+        self._idle.clear()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        self.inflight -= 1
+        self._semaphore.release()
+        if self.inflight == 0 and self.queued == 0:
+            self._idle.set()
+
+    async def drained(self, timeout: float = 10.0) -> bool:
+        """Wait until nothing is in flight or queued; False on timeout."""
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def to_payload(self) -> Dict[str, int]:
+        return {"inflight": self.inflight, "queued": self.queued,
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "admitted": self.admitted, "shed": self.shed}

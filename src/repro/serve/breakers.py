@@ -1,0 +1,121 @@
+"""Per-algorithm circuit breakers with a deterministic, injectable clock.
+
+A computation that keeps failing (a poisoned UDF, an input that always
+blows the deadline) should stop consuming admission slots: after
+``failure_threshold`` consecutive failures the breaker *opens* and the
+server fails that algorithm's requests fast (HTTP 503, or a stale cached
+answer when one exists). After ``reset_seconds`` the breaker goes
+*half-open* and admits exactly one probe: success closes it, failure
+re-opens it for another full window. The clock is injectable, so the
+trip/half-open/close schedule is testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Callable, Dict
+
+from repro.errors import CircuitOpenError, ConfigError
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One breaker guarding one named computation."""
+
+    def __init__(self, name: str, failure_threshold: int = 3,
+                 reset_seconds: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_seconds <= 0:
+            raise ConfigError(
+                f"reset_seconds must be positive, got {reset_seconds}")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self.clock = clock
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.total_failures = 0
+        self.total_successes = 0
+        self.times_opened = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+
+    def allow(self) -> None:
+        """Gate one attempt; raises :class:`CircuitOpenError` when open.
+
+        An open breaker past its reset window transitions to half-open
+        and admits a single probe; concurrent attempts during the probe
+        are still rejected.
+        """
+        if self.state is BreakerState.CLOSED:
+            return
+        now = self.clock()
+        if self.state is BreakerState.OPEN:
+            remaining = self._opened_at + self.reset_seconds - now
+            if remaining > 0:
+                raise CircuitOpenError(self.name,
+                                       self.consecutive_failures,
+                                       remaining)
+            self.state = BreakerState.HALF_OPEN
+            self._probe_inflight = False
+        if self._probe_inflight:
+            raise CircuitOpenError(self.name, self.consecutive_failures,
+                                   self.reset_seconds)
+        self._probe_inflight = True
+
+    def record_success(self) -> None:
+        self.total_successes += 1
+        self.consecutive_failures = 0
+        self.state = BreakerState.CLOSED
+        self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        self.total_failures += 1
+        self.consecutive_failures += 1
+        if (self.state is BreakerState.HALF_OPEN
+                or self.consecutive_failures >= self.failure_threshold):
+            self.state = BreakerState.OPEN
+            self.times_opened += 1
+            self._opened_at = self.clock()
+        self._probe_inflight = False
+
+    def to_payload(self) -> Dict:
+        return {"state": self.state.value,
+                "consecutive_failures": self.consecutive_failures,
+                "total_failures": self.total_failures,
+                "total_successes": self.total_successes,
+                "times_opened": self.times_opened}
+
+
+class BreakerBoard:
+    """Lazily created breakers, one per computation name."""
+
+    def __init__(self, failure_threshold: int = 3,
+                 reset_seconds: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self.clock = clock
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def get(self, name: str) -> CircuitBreaker:
+        breaker = self._breakers.get(name)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                name, failure_threshold=self.failure_threshold,
+                reset_seconds=self.reset_seconds, clock=self.clock)
+            self._breakers[name] = breaker
+        return breaker
+
+    def to_payload(self) -> Dict[str, Dict]:
+        return {name: breaker.to_payload()
+                for name, breaker in sorted(self._breakers.items())}

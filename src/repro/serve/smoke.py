@@ -1,0 +1,206 @@
+"""End-to-end smoke test for the daemon (``python -m repro.serve.smoke``).
+
+Boots ``repro.cli serve`` as a real subprocess on an ephemeral port,
+drives it over HTTP the way an operator's client would, then sends
+SIGTERM and verifies the graceful path:
+
+1. ``/healthz`` and ``/readyz`` answer once the ``listening on`` line
+   appears.
+2. A GVDL ``/query`` creates a view collection; ``/run`` computes WCC
+   over it; the identical ``/run`` is answered from cache.
+3. ``/mutate`` bumps the epoch; the next ``/run`` recomputes — and,
+   because the dataflow stayed resident, does strictly less work than
+   the cold run (it absorbs the mutation as a delta).
+4. SIGTERM drains, checkpoints the session journal, and exits 0; the
+   checkpoint re-loads as a valid ``serve-session`` journal.
+
+Exits 0 on success, 1 with a transcript dump on any failed check. Used
+by ``make serve-smoke`` and the CI ``serve-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+BOOT_TIMEOUT = 30.0
+SHUTDOWN_TIMEOUT = 30.0
+
+GVDL = ("create view collection hist on g "
+        "[old: year <= 2016], [mid: year <= 2017], [all: year <= 2030];")
+
+
+class SmokeFailure(AssertionError):
+    pass
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+
+
+def http(method: str, url: str, body: dict = None) -> tuple:
+    """Issue one request; returns (status, decoded JSON or text)."""
+    data = (json.dumps(body).encode("utf-8")
+            if body is not None else None)
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            raw = response.read()
+            status = response.status
+            content_type = response.headers.get("Content-Type", "")
+    except urllib.error.HTTPError as error:
+        raw = error.read()
+        status = error.code
+        content_type = error.headers.get("Content-Type", "")
+    if "json" in content_type:
+        return status, json.loads(raw.decode("utf-8"))
+    return status, raw.decode("utf-8")
+
+
+def write_graph(directory: Path) -> tuple:
+    nodes = directory / "nodes.csv"
+    edges = directory / "edges.csv"
+    nodes.write_text("id,city:str\n" + "\n".join(
+        f"{i},{'LA' if i % 2 else 'NY'}" for i in range(8)) + "\n")
+    edges.write_text("src,dst,year:int\n" + "\n".join(
+        f"{i},{(i + 1) % 8},{2015 + i % 5}" for i in range(8)) + "\n")
+    return nodes, edges
+
+
+def wait_for_listening(lines, deadline: float) -> str:
+    """Scrape the daemon's ``listening on HOST:PORT`` line."""
+    while time.monotonic() < deadline:
+        for line in list(lines):
+            if line.startswith("listening on "):
+                return "http://" + line.split("listening on ", 1)[1].strip()
+        time.sleep(0.05)
+    raise SmokeFailure(f"daemon never printed 'listening on' within "
+                       f"{BOOT_TIMEOUT}s; output so far: {list(lines)}")
+
+
+def drive(base: str) -> None:
+    """The request sequence; each step asserts the response shape."""
+    status, health = http("GET", f"{base}/healthz")
+    check(status == 200 and health["status"] == "ok",
+          f"/healthz not ok: {status} {health}")
+    status, ready = http("GET", f"{base}/readyz")
+    check(status == 200 and ready["ready"] is True,
+          f"/readyz not ready: {status} {ready}")
+
+    status, created = http("POST", f"{base}/query", {"gvdl": GVDL})
+    check(status == 200 and "hist" in created["created"],
+          f"/query did not create hist: {status} {created}")
+
+    run_body = {"computation": "wcc", "target": "g"}
+    status, cold = http("POST", f"{base}/run", run_body)
+    check(status == 200 and cold["cached"] is False,
+          f"cold /run wrong: {status} {cold}")
+    check(cold["epoch"] == 0 and len(cold["views"]) == 1,
+          f"cold /run payload wrong: {cold}")
+    check(cold["total_work"] > 0, f"cold /run did no work: {cold}")
+
+    status, warm = http("POST", f"{base}/run", run_body)
+    check(status == 200 and warm["cached"] is True
+          and warm["stale"] is False,
+          f"repeat /run not a fresh cache hit: {status} {warm}")
+    check(warm["views"] == cold["views"],
+          "cached /run answer differs from the computed one")
+
+    status, mutated = http("POST", f"{base}/mutate", {
+        "graph": "g", "add_edges": [[0, 4, {"year": 2016}]]})
+    check(status == 200 and mutated["epoch"] == 1
+          and mutated["edges_added"] == 1,
+          f"/mutate wrong: {status} {mutated}")
+
+    status, fresh = http("POST", f"{base}/run", run_body)
+    check(status == 200 and fresh["cached"] is False
+          and fresh["epoch"] == 1,
+          f"post-mutate /run not recomputed: {status} {fresh}")
+    check(0 < fresh["total_work"] < cold["total_work"],
+          f"resident dataflow did not absorb the mutation as a delta: "
+          f"cold={cold['total_work']} fresh={fresh['total_work']}")
+
+    status, health = http("GET", f"{base}/healthz")
+    check(health["cache"]["hits"] >= 1,
+          f"cache hit not counted: {health['cache']}")
+    check(health["session"]["epoch"] == 1,
+          f"session epoch not bumped: {health['session']}")
+
+
+def validate_checkpoint(path: Path) -> None:
+    from repro.core.resilience import load_checkpoint
+
+    state = load_checkpoint(path)
+    check(state is not None, f"checkpoint {path} missing or empty")
+    check(state.header.get("kind") == "serve-session",
+          f"checkpoint kind wrong: {state.header}")
+    check(not state.truncated, "checkpoint has a torn tail")
+    kinds = [record["kind"] for record in state.views]
+    check(kinds == ["gvdl", "mutate"],
+          f"journal should hold the GVDL then the mutation, got {kinds}")
+    check(state.header.get("epoch") == 1,
+          f"checkpointed epoch wrong: {state.header}")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        directory = Path(tmp)
+        nodes, edges = write_graph(directory)
+        checkpoint = directory / "session.ckpt"
+        argv = [sys.executable, "-m", "repro.cli",
+                "--load", f"g={nodes},{edges}",
+                "serve", "--port", "0",
+                "--checkpoint", str(checkpoint),
+                "--deadline", "30",
+                "--drain-timeout", "10"]
+        process = subprocess.Popen(
+            argv, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        lines: list = []
+        reader = threading.Thread(
+            target=lambda: lines.extend(iter(process.stdout.readline, "")),
+            daemon=True)
+        reader.start()
+        try:
+            base = wait_for_listening(
+                lines, time.monotonic() + BOOT_TIMEOUT)
+            drive(base)
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=SHUTDOWN_TIMEOUT)
+            reader.join(timeout=5)
+            check(process.returncode == 0,
+                  f"daemon exited {process.returncode}, expected 0")
+            transcript = "".join(lines)
+            check("shutdown complete: drained=True" in transcript,
+                  f"no clean drain in output:\n{transcript}")
+            validate_checkpoint(checkpoint)
+        except SmokeFailure as failure:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+            print("serve-smoke FAILED:", failure, file=sys.stderr)
+            print("--- daemon output ---", file=sys.stderr)
+            print("".join(lines), file=sys.stderr)
+            return 1
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+    print("serve-smoke OK: boot, cache hit, mutate, delta recompute, "
+          "drained shutdown, valid checkpoint")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

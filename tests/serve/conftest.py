@@ -1,0 +1,42 @@
+"""Shared fixtures for the serving layer: sessions, apps, fake requests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.system import Graphsurge
+from repro.serve.app import ServeApp
+from repro.serve.httpd import Request
+from repro.serve.session import ServeSession
+
+#: Three nested year-windows over the Figure 1 call graph.
+HIST_GVDL = ("create view collection hist on Calls "
+             "[old: year <= 2015], [mid: year <= 2018], "
+             "[all: year <= 2030];")
+
+
+@pytest.fixture
+def serve_session(call_graph):
+    gs = Graphsurge()
+    gs.add_graph(call_graph, "Calls")
+    return ServeSession(gs)
+
+
+@pytest.fixture
+def app(serve_session):
+    return ServeApp(serve_session)
+
+
+def make_request(method: str, path: str, body=None, query=None) -> Request:
+    data = json.dumps(body).encode("utf-8") if body is not None else b""
+    return Request(method=method, path=path, query=dict(query or {}),
+                   headers={}, body=data)
+
+
+async def call(app: ServeApp, method: str, path: str, body=None,
+               query=None):
+    """Drive one request through the app without sockets."""
+    return await app.handle(make_request(method, path, body=body,
+                                         query=query))

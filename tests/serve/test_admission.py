@@ -1,0 +1,106 @@
+"""Admission control: bounded concurrency, bounded queue, 429 shedding."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigError, OverloadedError
+from repro.serve.admission import AdmissionController
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestValidation:
+    def test_bounds_validated(self):
+        with pytest.raises(ConfigError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ConfigError):
+            AdmissionController(max_queue=-1)
+
+
+class TestAdmission:
+    def test_serial_requests_all_admitted(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=1, max_queue=0)
+            for _ in range(3):
+                async with admission:
+                    assert admission.inflight == 1
+            return admission
+
+        admission = run(scenario())
+        assert admission.admitted == 3
+        assert admission.shed == 0
+        assert admission.inflight == 0
+
+    def test_overload_sheds_with_429_error(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=1, max_queue=1)
+            release = asyncio.Event()
+
+            async def hold():
+                async with admission:
+                    await release.wait()
+
+            async def wait_in_queue():
+                async with admission:
+                    pass
+
+            holder = asyncio.create_task(hold())
+            await asyncio.sleep(0)  # holder takes the only slot
+            queued = asyncio.create_task(wait_in_queue())
+            await asyncio.sleep(0)  # queued fills the queue
+            assert admission.inflight == 1 and admission.queued == 1
+            with pytest.raises(OverloadedError) as caught:
+                async with admission:
+                    pass
+            assert caught.value.http_status == 429
+            assert caught.value.to_payload()["context"] == {
+                "inflight": 1, "queued": 1, "max_inflight": 1,
+                "max_queue": 1}
+            release.set()
+            await asyncio.gather(holder, queued)
+            return admission
+
+        admission = run(scenario())
+        assert admission.shed == 1
+        assert admission.admitted == 2
+
+    def test_exception_inside_still_releases_slot(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=1, max_queue=0)
+            with pytest.raises(RuntimeError):
+                async with admission:
+                    raise RuntimeError("boom")
+            async with admission:  # the slot came back
+                pass
+
+        run(scenario())
+
+
+class TestDrain:
+    def test_drained_waits_for_inflight(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=2, max_queue=2)
+            release = asyncio.Event()
+
+            async def hold():
+                async with admission:
+                    await release.wait()
+
+            holder = asyncio.create_task(hold())
+            await asyncio.sleep(0)
+            assert await admission.drained(timeout=0.01) is False
+            release.set()
+            await holder
+            assert await admission.drained(timeout=1.0) is True
+
+        run(scenario())
+
+    def test_idle_controller_is_drained_immediately(self):
+        async def scenario():
+            admission = AdmissionController()
+            assert await admission.drained(timeout=0.01) is True
+
+        run(scenario())

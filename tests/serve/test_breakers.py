@@ -1,0 +1,110 @@
+"""Circuit breakers: trip, fail fast, half-open probe — on a fake clock."""
+
+import pytest
+
+from repro.errors import CircuitOpenError, ConfigError
+from repro.serve.breakers import BreakerBoard, BreakerState, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker("wcc", failure_threshold=3, reset_seconds=30.0,
+                          clock=clock)
+
+
+class TestValidation:
+    def test_bad_parameters(self, clock):
+        with pytest.raises(ConfigError):
+            CircuitBreaker("x", failure_threshold=0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker("x", reset_seconds=0.0)
+
+
+class TestTripSchedule:
+    def test_trips_only_at_threshold(self, breaker):
+        for _ in range(2):
+            breaker.allow()
+            breaker.record_failure()
+            assert breaker.state is BreakerState.CLOSED
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.times_opened == 1
+
+    def test_success_resets_the_failure_streak(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_open_breaker_fails_fast_with_retry_after(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        with pytest.raises(CircuitOpenError) as caught:
+            breaker.allow()
+        assert caught.value.http_status == 503
+        context = caught.value.to_payload()["context"]
+        assert context["breaker"] == "wcc"
+        assert context["retry_after"] == pytest.approx(20.0)
+
+
+class TestHalfOpen:
+    def test_probe_after_reset_window(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(30.0)
+        breaker.allow()  # the single probe is admitted
+        assert breaker.state is BreakerState.HALF_OPEN
+        # A concurrent attempt during the probe is still rejected.
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.allow()  # closed again: no gate
+
+    def test_failed_probe_reopens_full_window(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(30.0)
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.times_opened == 2
+        clock.advance(29.0)  # window restarts from the probe failure
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+        clock.advance(1.0)
+        breaker.allow()
+        assert breaker.state is BreakerState.HALF_OPEN
+
+
+class TestBoard:
+    def test_one_breaker_per_name(self, clock):
+        board = BreakerBoard(failure_threshold=2, reset_seconds=5.0,
+                             clock=clock)
+        assert board.get("wcc") is board.get("wcc")
+        assert board.get("wcc") is not board.get("pagerank")
+        board.get("wcc").record_failure()
+        payload = board.to_payload()
+        assert set(payload) == {"pagerank", "wcc"}
+        assert payload["wcc"]["consecutive_failures"] == 1
+        assert payload["wcc"]["state"] == "closed"

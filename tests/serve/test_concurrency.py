@@ -1,0 +1,94 @@
+"""Satellite 3: concurrent requests are deterministic and stampede-free.
+
+N parallel ``/run`` requests must produce byte-identical responses to
+the same requests issued sequentially, and each distinct computation
+must fill the cache exactly once (single-flight coalescing).
+"""
+
+import asyncio
+import copy
+
+import pytest
+
+from repro.core.system import Graphsurge
+from repro.serve.app import ServeApp
+from repro.serve.session import ServeSession
+
+from tests.serve.conftest import HIST_GVDL, call
+
+#: Four distinct computations, each requested three times.
+BODIES = [
+    {"computation": "wcc", "target": "hist"},
+    {"computation": "degrees", "target": "hist"},
+    {"computation": "wcc", "target": "Calls"},
+    {"computation": "pagerank", "target": "Calls",
+     "params": {"iterations": 3}},
+] * 3
+
+
+def fresh_app(call_graph) -> ServeApp:
+    gs = Graphsurge()
+    gs.add_graph(copy.deepcopy(call_graph), "Calls")
+    session = ServeSession(gs)
+    session.execute_gvdl(HIST_GVDL)
+    return ServeApp(session)
+
+
+def test_parallel_matches_sequential_byte_for_byte(call_graph):
+    async def sequential():
+        app = fresh_app(call_graph)
+        responses = []
+        for body in BODIES:
+            responses.append(await call(app, "POST", "/run", body))
+        return app, responses
+
+    async def parallel():
+        app = fresh_app(call_graph)
+        responses = await asyncio.gather(
+            *(call(app, "POST", "/run", body) for body in BODIES))
+        return app, responses
+
+    seq_app, seq = asyncio.run(sequential())
+    par_app, par = asyncio.run(parallel())
+    assert [r.encode() for r in par] == [r.encode() for r in seq]
+    # All twelve answered, none shed, none errored.
+    assert all(r.status == 200 for r in par)
+    assert par_app.admission.shed == 0
+    assert par_app.admission.admitted == len(BODIES)
+
+
+def test_exactly_one_fill_per_distinct_computation(call_graph):
+    async def scenario():
+        app = fresh_app(call_graph)
+        responses = await asyncio.gather(
+            *(call(app, "POST", "/run", body) for body in BODIES))
+        return app, responses
+
+    app, responses = asyncio.run(scenario())
+    distinct = {frozenset((k, repr(v)) for k, v in body.items())
+                for body in BODIES}
+    assert app.cache.stats.fills == len(distinct) == 4
+    # The duplicates were answered from the coalesced fill.
+    cached_flags = [r.payload["cached"] for r in responses]
+    assert cached_flags.count(False) == 4
+    assert cached_flags.count(True) == len(BODIES) - 4
+    # Every duplicate's answer is identical to its computing peer's.
+    by_key = {}
+    for body, response in zip(BODIES, responses):
+        key = (body["computation"], body["target"])
+        by_key.setdefault(key, []).append(response.payload["views"])
+        assert response.payload["views"] == by_key[key][0]
+
+
+def test_healthz_answers_while_computes_queue(call_graph):
+    async def scenario():
+        app = fresh_app(call_graph)
+        computes = [
+            asyncio.create_task(call(app, "POST", "/run", body))
+            for body in BODIES[:4]]
+        health = await call(app, "GET", "/healthz")
+        await asyncio.gather(*computes)
+        return health
+
+    health = asyncio.run(scenario())
+    assert health.status == 200

@@ -1,0 +1,75 @@
+"""Satellite 2: the GraphsurgeError taxonomy maps uniformly to payloads."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExceededError,
+    CircuitOpenError,
+    ConfigError,
+    GraphsurgeError,
+    GvdlSyntaxError,
+    InjectedFault,
+    OverloadedError,
+    RequestError,
+    ShuttingDownError,
+    UnknownGraphError,
+)
+
+
+class TestPayloadShape:
+    def test_every_payload_has_code_message_context(self):
+        errors = [
+            GraphsurgeError("generic"),
+            ConfigError("bad knob"),
+            UnknownGraphError("no such graph"),
+            RequestError("bad body"),
+            ShuttingDownError("draining"),
+            InjectedFault("operator", 3),
+            BudgetExceededError("work", 10, 5, site="step"),
+            OverloadedError(2, 4, 2, 4),
+            CircuitOpenError("wcc", 3, 12.5),
+        ]
+        for error in errors:
+            payload = error.to_payload()
+            assert set(payload) == {"error", "message", "context"}, error
+            assert payload["error"] == type(error).code
+            assert payload["message"] == str(error)
+            assert isinstance(payload["context"], dict)
+
+    def test_statuses_cover_the_http_mapping(self):
+        assert GraphsurgeError("x").http_status == 500
+        assert ConfigError("x").http_status == 400
+        assert RequestError("x").http_status == 400
+        assert UnknownGraphError("x").http_status == 404
+        assert OverloadedError(1, 1, 1, 1).http_status == 429
+        assert CircuitOpenError("x", 1, 1.0).http_status == 503
+        assert ShuttingDownError("x").http_status == 503
+        assert BudgetExceededError("work", 2, 1).http_status == 503
+
+
+class TestStructuredContext:
+    def test_budget_context(self):
+        context = BudgetExceededError(
+            "wall_seconds", 1.5, 1.0, site="view:old").to_payload()["context"]
+        assert context == {"limit": "wall_seconds", "spent": 1.5,
+                           "allowed": 1.0, "site": "view:old"}
+
+    def test_injected_fault_context(self):
+        context = InjectedFault("epoch", 7).to_payload()["context"]
+        assert context == {"site": "epoch", "invocation": 7}
+
+    def test_syntax_error_context_carries_position(self):
+        from repro.gvdl.parser import parse
+
+        with pytest.raises(GvdlSyntaxError) as caught:
+            parse("create nonsense;")
+        payload = caught.value.to_payload()
+        assert payload["error"] == "gvdl-syntax"
+        assert caught.value.http_status == 400
+
+
+class TestBackwardCompatibility:
+    def test_config_error_is_value_error(self):
+        error = ConfigError("bad")
+        assert isinstance(error, ValueError)
+        assert isinstance(error, GraphsurgeError)

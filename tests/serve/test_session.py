@@ -1,0 +1,214 @@
+"""Resident session state: the delta economy, mutation, checkpointing.
+
+The acceptance demo lives here: two requests against one session where
+the second, overlapping view collection is answered from resident
+arrangements with *fewer work units*, asserted via the meter figures the
+payload carries.
+"""
+
+import copy
+
+import pytest
+
+from repro.core.resilience import load_checkpoint
+from repro.core.system import Graphsurge
+from repro.errors import (
+    CheckpointError,
+    RequestError,
+    UnknownGraphError,
+)
+from repro.serve.session import (
+    ServeSession,
+    build_request_computation,
+    computation_signature,
+    multiset_delta,
+)
+
+WCC = computation_signature("wcc", {})
+
+
+def wcc_run(session, target, **kwargs):
+    return session.run(WCC, build_request_computation("wcc", {}), target,
+                       **kwargs)
+
+
+class TestRequestComputations:
+    def test_known_names_build(self):
+        assert build_request_computation("wcc", {}).name == "WCC"
+        assert build_request_computation(
+            "bfs", {"source": 1}).source == 1
+        assert build_request_computation(
+            "pagerank", {"iterations": 3}).iterations == 3
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(RequestError, match="unknown computation"):
+            build_request_computation("frobnicate", {})
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(RequestError, match="unknown computation param"):
+            build_request_computation("wcc", {"sauce": 1})
+
+    def test_signature_is_canonical(self):
+        assert computation_signature("WCC") == computation_signature(
+            "wcc", {})
+        assert computation_signature(
+            "bfs", {"source": 1}) != computation_signature(
+            "bfs", {"source": 2})
+
+
+class TestMultisetDelta:
+    def test_delta_advances_current_to_target(self):
+        current = {"a": 1, "b": 2, "c": 1}
+        target = {"a": 1, "b": 1, "d": 3}
+        delta = multiset_delta(current, target)
+        assert delta == {"b": -1, "c": -1, "d": 3}
+        merged = dict(current)
+        for record, mult in delta.items():
+            merged[record] = merged.get(record, 0) + mult
+        assert {k: v for k, v in merged.items() if v} == target
+
+    def test_identical_multisets_have_empty_delta(self):
+        assert multiset_delta({"a": 2}, {"a": 2}) == {}
+
+
+class TestResidentEconomy:
+    def test_overlapping_collection_costs_fewer_work_units(
+            self, serve_session):
+        """The acceptance demo: overlap across requests is nearly free."""
+        serve_session.execute_gvdl(
+            "create view collection early on Calls "
+            "[old: year <= 2015], [mid: year <= 2018];")
+        serve_session.execute_gvdl(
+            "create view collection late on Calls "
+            "[mid2: year <= 2018], [all: year <= 2030];")
+        first = wcc_run(serve_session, "early")
+        second = wcc_run(serve_session, "late")
+        # The resident dataflow ends request 1 at `mid`; request 2's first
+        # view is the same edge multiset, so it costs zero work.
+        assert first["total_work"] > 0
+        assert second["views"][0]["work"] == 0
+        assert second["total_work"] > 0
+        # Answers still match a cold session computing `late` from
+        # scratch — which has to pay for the full first view the resident
+        # arrangements already hold.
+        cold_gs = Graphsurge()
+        cold_gs.add_graph(
+            copy.deepcopy(serve_session.gs.graphs.get("Calls")), "Calls")
+        cold = ServeSession(cold_gs)
+        cold.execute_gvdl(
+            "create view collection late on Calls "
+            "[mid2: year <= 2018], [all: year <= 2030];")
+        cold_run = wcc_run(cold, "late")
+        assert [view["output"] for view in second["views"]] == \
+            [view["output"] for view in cold_run["views"]]
+        assert second["total_work"] < cold_run["total_work"]
+
+    def test_repeat_request_is_zero_work(self, serve_session):
+        first = wcc_run(serve_session, "Calls")
+        again = wcc_run(serve_session, "Calls")
+        assert first["total_work"] > 0
+        assert again["total_work"] == 0
+        assert [view["output"] for view in again["views"]] == \
+            [view["output"] for view in first["views"]]
+
+    def test_mutation_absorbed_as_delta(self, serve_session, call_graph):
+        cold = wcc_run(serve_session, "Calls")
+        serve_session.mutate("Calls", add_edges=[(1, 8, {
+            "duration": 5, "year": 2020})])
+        assert serve_session.epoch == 1
+        fresh = wcc_run(serve_session, "Calls")
+        assert 0 < fresh["total_work"] < cold["total_work"]
+        assert fresh["epoch"] == 1
+        resident = serve_session._residents[WCC]
+        assert resident.rebuilds == 1  # no rebuild for the mutation
+
+    def test_mutation_rematerializes_views(self, serve_session):
+        serve_session.execute_gvdl(
+            "create view recent on Calls edges where year >= 2019;")
+        before = serve_session.gs.resolve("recent").num_edges
+        serve_session.mutate("Calls", add_edges=[(1, 8, {
+            "duration": 5, "year": 2020})])
+        assert serve_session.gs.resolve("recent").num_edges == before + 1
+
+    def test_mutation_on_unknown_graph_rejected(self, serve_session):
+        with pytest.raises(UnknownGraphError):
+            serve_session.mutate("nope", add_edges=[(1, 2, {})])
+
+    def test_retraction_shrinks_graph(self, serve_session):
+        before = serve_session.gs.resolve("Calls").num_edges
+        counts = serve_session.mutate("Calls", retract_edges=[(1, 2)])
+        assert counts["edges_removed"] == 1
+        assert serve_session.gs.resolve("Calls").num_edges == before - 1
+
+
+class TestIntrospection:
+    def test_describe_and_resident_memory(self, serve_session):
+        serve_session.execute_gvdl(
+            "create view recent on Calls edges where year >= 2019;")
+        wcc_run(serve_session, "Calls")
+        description = serve_session.describe()
+        assert description["graphs"] == ["Calls"]
+        assert description["views"] == ["recent"]
+        assert description["epoch"] == 0
+        assert description["journal_entries"] == 1
+        memory = serve_session.resident_memory()
+        assert memory["total_records"] > 0
+        assert memory["residents"][WCC]["epochs_fed"] == 1
+
+
+class TestCheckpointRestore:
+    def test_roundtrip_reproduces_state(self, call_graph, tmp_path):
+        # The session gets its own copy: replay must start from the graph
+        # as loaded, *before* the journaled mutation was applied.
+        gs = Graphsurge()
+        gs.add_graph(copy.deepcopy(call_graph), "Calls")
+        session = ServeSession(gs)
+        session.execute_gvdl(
+            "create view collection hist on Calls "
+            "[old: year <= 2015], [all: year <= 2030];")
+        session.mutate("Calls", add_edges=[(1, 8, {
+            "duration": 5, "year": 2020})])
+        original = wcc_run(session, "hist")
+        path = tmp_path / "session.ckpt"
+        assert session.checkpoint(path) == 2
+
+        pristine = Graphsurge()
+        pristine.add_graph(copy.deepcopy(call_graph), "Calls")
+        restored = ServeSession(pristine)
+        state = restored.restore(path)
+        assert state is not None and state.completed_views == 2
+        assert restored.epoch == 1
+        assert restored.describe()["collections"] == ["hist"]
+        replayed = wcc_run(restored, "hist")
+        assert [view["output"] for view in replayed["views"]] == \
+            [view["output"] for view in original["views"]]
+
+    def test_restore_missing_file_is_none(self, serve_session, tmp_path):
+        assert serve_session.restore(tmp_path / "absent.ckpt") is None
+
+    def test_restore_rejects_foreign_journal(self, serve_session,
+                                             tmp_path):
+        from repro.core.resilience import CheckpointWriter
+
+        path = tmp_path / "foreign.ckpt"
+        CheckpointWriter.fresh(path, {"kind": "run"}).close()
+        with pytest.raises(CheckpointError, match="serve-session"):
+            serve_session.restore(path)
+
+    def test_restore_requires_base_graphs(self, serve_session, tmp_path):
+        path = tmp_path / "session.ckpt"
+        serve_session.checkpoint(path)
+        empty = ServeSession(Graphsurge())
+        with pytest.raises(UnknownGraphError, match="Calls"):
+            empty.restore(path)
+
+    def test_checkpoint_readable_by_pr1_loader(self, serve_session,
+                                               tmp_path):
+        serve_session.execute_gvdl(
+            "create view recent on Calls edges where year >= 2019;")
+        path = tmp_path / "session.ckpt"
+        serve_session.checkpoint(path)
+        state = load_checkpoint(path)
+        assert state.header["kind"] == "serve-session"
+        assert not state.truncated
+        assert state.views[0]["kind"] == "gvdl"
