@@ -5,7 +5,7 @@ export PYTHONPATH := src
 FUZZ_SEED ?= 7
 FUZZ_ITERATIONS ?= 25
 
-.PHONY: test analyze fuzz fuzz-soak bench serve-smoke
+.PHONY: test analyze fuzz fuzz-soak bench bench-parallel serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,6 +29,16 @@ fuzz-soak:
 bench:
 	$(PYTHON) benchmarks/bench_hotpath.py --check BENCH_engine.json \
 		--tolerance 0.25
+
+# Backend-equality + speedup gate for the process backend (the CI
+# parallel-smoke job). Counters and output digests must be identical
+# across backends; the speedup floor is enforced only on machines with
+# at least as many cores as workers (advisory otherwise). See
+# docs/parallel.md.
+bench-parallel:
+	$(PYTHON) benchmarks/bench_hotpath.py --compare-backends \
+		--workers 4 --scenarios iterate_heavy,collection_run_wcc \
+		--min-speedup 2.0
 
 # Boot the real daemon, drive it over HTTP (health, GVDL, cached run,
 # mutation, delta recompute), SIGTERM it, and assert a clean drained

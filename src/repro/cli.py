@@ -112,6 +112,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="simulated worker count (default 1)")
     parser.add_argument(
+        "--backend", default="inline", choices=["inline", "process"],
+        help="execution backend: inline runs all shards in this "
+             "process; process forks one OS worker per shard "
+             "(see docs/parallel.md; default inline)")
+    parser.add_argument(
         "--order-collections", default="identity",
         choices=["identity", "christofides", "greedy", "random"],
         help="collection ordering method (default identity)")
@@ -256,6 +261,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, default=10.0,
                        help="seconds to wait for in-flight requests on "
                             "shutdown (default 10)")
+    serve.add_argument("--workers", type=int, default=None,
+                       dest="serve_workers", metavar="N",
+                       help="worker count for resident dataflows "
+                            "(overrides the global --workers)")
+    serve.add_argument("--backend", default=None, dest="serve_backend",
+                       choices=["inline", "process"],
+                       help="execution backend for resident dataflows "
+                            "(overrides the global --backend; see "
+                            "docs/parallel.md)")
 
     fuzz = subcommands.add_parser(
         "fuzz", help="fuzz randomized view collections against the "
@@ -289,7 +303,8 @@ def build_parser() -> argparse.ArgumentParser:
 def _setup_session(args: argparse.Namespace) -> Graphsurge:
     session = Graphsurge(workers=args.workers,
                          order_collections=args.order_collections,
-                         weight_property=args.weight_property)
+                         weight_property=args.weight_property,
+                         backend=args.backend)
     for spec in args.load:
         name, _, files = spec.partition("=")
         nodes_path, _, edges_path = files.partition(",")
@@ -543,6 +558,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _fuzz(args)
         if args.command == "analyze":
             return _analyze(args)
+        if args.command == "serve":
+            # Per-subcommand overrides fold into the session knobs so the
+            # resident dataflows (and backend validation) see them.
+            if args.serve_workers is not None:
+                args.workers = args.serve_workers
+            if args.serve_backend is not None:
+                args.backend = args.serve_backend
         session = _setup_session(args)
         if args.command == "info":
             _print_info(session)

@@ -167,8 +167,17 @@ class AnalyticsExecutor:
 
     def __init__(self, workers: int = 1,
                  tracer: Optional[TraceSink] = None,
-                 strict: bool = False):
+                 strict: bool = False,
+                 backend: str = "inline"):
+        from repro.timely.cluster import validate_backend
+
         self.workers = workers
+        validate_backend(backend, workers)
+        #: Execution backend for every dataflow this executor builds:
+        #: ``"inline"`` (default, single process) or ``"process"`` (one OS
+        #: process per worker; see ``docs/parallel.md``). Counters and
+        #: outputs are byte-identical between backends.
+        self.backend = backend
         self.tracer = tracer
         #: Strict mode statically analyzes every plan at build time and
         #: refuses (``AnalysisError``) to run one with ERROR findings —
@@ -187,14 +196,17 @@ class AnalyticsExecutor:
         """Run a computation on one materialized view (paper §3.1.2)."""
         dataflow, capture = self._fresh_dataflow(computation, budget,
                                                  fault_plan)
-        started = time.perf_counter()
-        before = dataflow.meter.snapshot()
-        mark = self.tracer.mark() if self.tracer is not None else 0
-        diff = edges.as_input_diff(directed=computation.directed)
-        epoch = dataflow.step({"edges": diff})
-        after = dataflow.meter.snapshot()
-        spent = before.delta(after)
-        output = capture.value_at_epoch(epoch)
+        try:
+            started = time.perf_counter()
+            before = dataflow.meter.snapshot()
+            mark = self.tracer.mark() if self.tracer is not None else 0
+            diff = edges.as_input_diff(directed=computation.directed)
+            epoch = dataflow.step({"edges": diff})
+            after = dataflow.meter.snapshot()
+            spent = before.delta(after)
+            output = capture.value_at_epoch(epoch)
+        finally:
+            dataflow.close()
         profile = None
         if self.tracer is not None:
             profile = profile_view(self.tracer, view_name, mark,
@@ -334,6 +346,8 @@ class AnalyticsExecutor:
                     writer.append_view(self._view_record(
                         index, result, split, observation))
         except BudgetExceededError as error:
+            if dataflow is not None:
+                dataflow.close()
             error.partial = CollectionRunResult(
                 computation=computation.name,
                 collection=collection.name,
@@ -353,7 +367,10 @@ class AnalyticsExecutor:
         if dataflow is not None:
             from repro.differential.debug import operator_record_counts
 
+            # Gather counts before close: on the process backend they come
+            # from the still-running workers over the exchange channels.
             trace_memory = operator_record_counts(dataflow)
+            dataflow.close()
         profile = None
         if self.tracer is not None:
             profile = CollectionProfile(
@@ -419,7 +436,10 @@ class AnalyticsExecutor:
                 except Exception as error:
                     failures.append(f"{type(error).__name__}: {error}")
                     last_error = error
-                    # The failed dataflow may be mid-epoch: poison it.
+                    # The failed dataflow may be mid-epoch: poison it
+                    # (releasing its worker processes, if any).
+                    if dataflow is not None:
+                        dataflow.close()
                     dataflow = capture = None
                     if retry_policy is None:
                         raise
@@ -434,11 +454,16 @@ class AnalyticsExecutor:
                       fault_plan: Optional[FaultPlan]
                       ) -> Tuple[ViewRunResult, Dataflow, CaptureOp]:
         started = time.perf_counter()
+        incoming = dataflow
         if strategy is SplitDecision.DIFFERENTIAL and dataflow is None:
             # Rebuilt differential attempt (retry or resume continuation).
             dataflow, capture = self._replay_dataflow(
                 computation, collection, index - 1, budget, fault_plan)
         if strategy is SplitDecision.SCRATCH or dataflow is None:
+            if dataflow is not None:
+                # A scratch view replaces the running dataflow; release
+                # the old one's worker processes before rebuilding.
+                dataflow.close()
             dataflow, capture = self._fresh_dataflow(computation, budget,
                                                      fault_plan)
             feed = edge_diff_to_input(
@@ -449,7 +474,14 @@ class AnalyticsExecutor:
                 index, directed=computation.directed)
         before = dataflow.meter.snapshot()
         mark = self.tracer.mark() if self.tracer is not None else 0
-        epoch = dataflow.step({"edges": feed})
+        try:
+            epoch = dataflow.step({"edges": feed})
+        except BaseException:
+            # A dataflow built inside this attempt would otherwise leak its
+            # worker processes: the caller only knows about ``incoming``.
+            if dataflow is not incoming:
+                dataflow.close()
+            raise
         after = dataflow.meter.snapshot()
         spent = before.delta(after)
         assert capture is not None
@@ -492,7 +524,11 @@ class AnalyticsExecutor:
         replay = edge_diff_to_input(
             collection.full_view_edges(upto_index),
             directed=computation.directed)
-        dataflow.step({"edges": replay})
+        try:
+            dataflow.step({"edges": replay})
+        except BaseException:
+            dataflow.close()
+            raise
         return dataflow, capture
 
     # -- checkpoint record (de)serialization -------------------------------------
@@ -571,7 +607,8 @@ class AnalyticsExecutor:
                         budget: Optional[RunBudget] = None,
                         fault_plan: Optional[FaultPlan] = None):
         dataflow = Dataflow(workers=self.workers, budget=budget,
-                            fault_plan=fault_plan, tracer=self.tracer)
+                            fault_plan=fault_plan, tracer=self.tracer,
+                            backend=self.backend)
         edges = dataflow.new_input("edges")
         result = computation.build(dataflow, edges)
         if result.scope is not dataflow.root:

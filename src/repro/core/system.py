@@ -47,7 +47,11 @@ class Graphsurge:
 
     Parameters:
 
-    * ``workers`` — simulated worker count for the execution layer.
+    * ``workers`` — worker count for the execution layer.
+    * ``backend`` — ``"inline"`` (default: all shards in this process,
+      parallel time simulated) or ``"process"`` (one OS process per
+      worker; see ``docs/parallel.md``). Counters and outputs are
+      byte-identical between backends.
     * ``order_collections`` — default ordering method applied when
       materializing view collections (``identity`` keeps the user order;
       ``christofides`` enables the §4 optimizer).
@@ -55,13 +59,15 @@ class Graphsurge:
 
     def __init__(self, workers: int = 1,
                  order_collections: str = "identity",
-                 weight_property: Optional[str] = None):
+                 weight_property: Optional[str] = None,
+                 backend: str = "inline"):
         self.workers = workers
+        self.backend = backend
         self.order_collections = order_collections
         self.weight_property = weight_property
         self.graphs = GraphStore()
         self.views = ViewStore()
-        self.executor = AnalyticsExecutor(workers=workers)
+        self.executor = AnalyticsExecutor(workers=workers, backend=backend)
 
     # -- graph management ---------------------------------------------------------
 
@@ -267,7 +273,8 @@ class Graphsurge:
         executor = self.executor
         if tracer is not None or strict:
             executor = AnalyticsExecutor(workers=self.workers,
-                                         tracer=tracer, strict=strict)
+                                         tracer=tracer, strict=strict,
+                                         backend=self.backend)
         if self.views.has_collection(target):
             collection: MaterializedCollection = \
                 self.views.get_collection(target)

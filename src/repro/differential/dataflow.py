@@ -15,6 +15,7 @@ from repro.differential.multiset import Diff
 from repro.differential.operators.base import Operator
 from repro.differential.operators.io import CaptureOp, InputOp
 from repro.errors import DataflowError
+from repro.timely.cluster import ProcessCluster, validate_backend
 from repro.timely.meter import WorkMeter
 
 
@@ -65,12 +66,24 @@ class Dataflow:
     """An executable differential dataflow."""
 
     def __init__(self, workers: int = 1, meter: Optional[WorkMeter] = None,
-                 budget=None, fault_plan=None, tracer=None):
+                 budget=None, fault_plan=None, tracer=None,
+                 backend: str = "inline"):
         self.meter = (meter if meter is not None
                       else WorkMeter(workers, fault_plan=fault_plan,
                                      tracer=tracer))
         if tracer is not None:
             self.meter.tracer = tracer
+        validate_backend(backend, self.meter.workers)
+        #: Execution backend: ``"inline"`` runs all worker shards in this
+        #: process; ``"process"`` forks one OS process per worker at the
+        #: first :meth:`step` and routes keyed operator work over exchange
+        #: channels (see :mod:`repro.timely.cluster`, ``docs/parallel.md``).
+        #: Counters and outputs are byte-identical between backends.
+        self.backend = backend
+        #: The live :class:`~repro.timely.cluster.ProcessCluster`, or
+        #: ``None`` on the inline backend (and before the first step).
+        #: Keyed operators branch on this to route their per-key kernels.
+        self.cluster = None
         #: Optional :class:`repro.observe.tracer.TraceSink`. When set, the
         #: scope drivers and :meth:`Operator.send` bracket every operator
         #: apply with an attribution context; when ``None`` every hook is
@@ -163,6 +176,8 @@ class Dataflow:
         if self.budget is not None:
             self.budget.start()
         self._frozen = True
+        if self.backend == "process" and self.cluster is None:
+            self._start_cluster()
         self.epoch += 1
         time = (self.epoch,)
         tracer = self.tracer
@@ -204,6 +219,45 @@ class Dataflow:
                 return self.epoch
         raise DataflowError(
             f"dataflow failed to quiesce at epoch {self.epoch}")
+
+    def _start_cluster(self) -> None:
+        """Fork the worker processes (process backend, first step only).
+
+        Deferred to the first step so the fork copies the *complete* frozen
+        operator graph — including user closures, which could never be
+        pickled — while every keyed trace is still empty. From here on the
+        coordinator's copies of keyed traces stay empty: resident state
+        accumulates only on the owning workers, so memory is genuinely
+        sharded.
+        """
+        from repro.differential.operators.arrange import (
+            ArrangeOp,
+            JoinArrangedOp,
+        )
+        from repro.differential.operators.iterate import VariableOp
+        from repro.differential.operators.join import JoinOp
+        from repro.differential.operators.reduce import ReduceOp
+
+        registry = {}
+        for ops in self._ops_by_scope.values():
+            for op in ops:
+                if isinstance(op, (JoinOp, JoinArrangedOp, ReduceOp,
+                                   VariableOp, ArrangeOp)):
+                    registry[op.index] = op
+        self.cluster = ProcessCluster(
+            self.meter.workers, registry,
+            superstep=lambda: self.meter.supersteps)
+
+    def close(self) -> None:
+        """Release backend resources (worker processes). Idempotent.
+
+        A no-op on the inline backend. The executor and the serving layer
+        call this whenever a dataflow is discarded; daemonic workers are
+        the backstop for paths that do not.
+        """
+        cluster, self.cluster = self.cluster, None
+        if cluster is not None:
+            cluster.close()
 
     def set_budget(self, budget) -> None:
         """Attach (or with ``None`` detach) a budget to a live dataflow.

@@ -42,13 +42,32 @@ class ArrangeOp(Operator):
                 grouped[key] = {value: mult}
             else:
                 slot[value] = slot.get(value, 0) + mult
-        self.trace.update_batch(time, grouped)
+        cluster = self.dataflow.cluster
+        if cluster is None:
+            self.trace.update_batch(time, grouped)
+        else:
+            # Route each key's update to its owning worker. FIFO pipes
+            # guarantee it lands before the probe tasks the forwarded diff
+            # triggers downstream, preserving exactly-once pairing.
+            cluster.post_updates(self.index, "arrange", time, grouped)
         # Deliberately unmetered: the cost model charges index maintenance
         # at the joins that read a trace, so a dataflow using one shared
         # arrangement reports the same total_work/parallel_time as the
         # same dataflow with private per-join traces. Sharing shows up as
         # memory (record_count) and wall clock, not as model work.
         self.send(time, diff)
+
+    # -- process-backend entry points (run inside the worker) -----------------
+
+    def remote_update(self, payload) -> None:
+        _tag, time, grouped = payload
+        self.trace.update_batch(time, grouped)
+
+    def remote_task(self, payload):
+        raise AssertionError("arrange has no per-key tasks")
+
+    def remote_stats(self) -> int:
+        return self.trace.record_count()
 
 
 class ArrangeEnterOp(Operator):
@@ -87,9 +106,6 @@ class JoinArrangedOp(Operator):
 
     def on_delta(self, port: int, time: Time, diff: Diff) -> None:
         meter = self.dataflow.meter
-        f = self.f
-        epoch = time[0]
-        tlen = len(time)
         grouped: Dict[Any, Diff] = {}
         for rec, mult in diff.items():
             try:
@@ -105,53 +121,91 @@ class JoinArrangedOp(Operator):
             else:
                 slot[value] = slot.get(value, 0) + mult
         outputs: Dict[Time, Diff] = {}
-        if port == 0:
+        cluster = self.dataflow.cluster
+        record = meter.record
+        if cluster is None:
             for key, values in grouped.items():
-                # Store first so later arranged diffs at this time pair
-                # against it; then match the arrangement as of now (which
-                # includes arranged diffs that arrived earlier, and not
-                # ones still to come — exactly-once pairing).
-                self.left_trace.update(key, time, values)
-                self.arranged.maybe_compact(key, epoch)
-                other = self.arranged.get(key)
-                meter.record(key, len(values))
-                if other is None:
-                    continue
-                pairs = 0
-                for t2, vals in other.entries.items():
-                    if len(t2) != tlen:
-                        # The arrangement was entered from an outer scope:
-                        # its times are shorter and behave as if padded
-                        # with zero loop coordinates.
-                        t2 = t2 + (0,) * (tlen - len(t2))
-                    out_time = lub(time, t2)
-                    slot = outputs.setdefault(out_time, {})
-                    pairs += len(vals)
-                    for value, mult in values.items():
-                        for v2, m2 in vals.items():
-                            out = f(key, value, v2)
-                            slot[out] = slot.get(out, 0) + mult * m2
-                if pairs:
-                    meter.record(key, pairs * len(values))
+                self._probe_key(port, time, key, values, record, outputs)
         else:
-            for key, values in grouped.items():
-                # The ArrangeOp already stored this diff before forwarding;
-                # pair it against the private left trace only.
-                self.left_trace.maybe_compact(key, epoch)
-                mine = self.left_trace.get(key)
-                meter.record(key, len(values))
-                if mine is None:
-                    continue
-                pairs = 0
-                for t2, vals in mine.entries.items():
-                    out_time = lub(time, t2)
+            replies = cluster.run_tasks(self.index, ("delta", port, time),
+                                        grouped.items())
+            for key in grouped:
+                events, key_outputs = replies[key]
+                for units in events:
+                    record(key, units)
+                for out_time, emitted in key_outputs.items():
                     slot = outputs.setdefault(out_time, {})
-                    pairs += len(vals)
-                    for value, mult in values.items():
-                        for v2, m2 in vals.items():
-                            out = f(key, v2, value)
-                            slot[out] = slot.get(out, 0) + mult * m2
-                if pairs:
-                    meter.record(key, pairs * len(values))
+                    for rec, mult in emitted.items():
+                        slot[rec] = slot.get(rec, 0) + mult
         for out_time in sorted(outputs):
             self.send(out_time, consolidate(outputs[out_time]))
+
+    def _probe_key(self, port: int, time: Time, key: Any, values: Diff,
+                   record, outputs: Dict[Time, Diff]) -> None:
+        """Per-key probe kernel (runs on the key's owner)."""
+        f = self.f
+        epoch = time[0]
+        tlen = len(time)
+        if port == 0:
+            # Store first so later arranged diffs at this time pair
+            # against it; then match the arrangement as of now (which
+            # includes arranged diffs that arrived earlier, and not
+            # ones still to come — exactly-once pairing).
+            self.left_trace.update(key, time, values)
+            self.arranged.maybe_compact(key, epoch)
+            other = self.arranged.get(key)
+            record(key, len(values))
+            if other is None:
+                return
+            pairs = 0
+            for t2, vals in other.entries.items():
+                if len(t2) != tlen:
+                    # The arrangement was entered from an outer scope:
+                    # its times are shorter and behave as if padded
+                    # with zero loop coordinates.
+                    t2 = t2 + (0,) * (tlen - len(t2))
+                out_time = lub(time, t2)
+                slot = outputs.setdefault(out_time, {})
+                pairs += len(vals)
+                for value, mult in values.items():
+                    for v2, m2 in vals.items():
+                        out = f(key, value, v2)
+                        slot[out] = slot.get(out, 0) + mult * m2
+            if pairs:
+                record(key, pairs * len(values))
+        else:
+            # The ArrangeOp already stored this diff before forwarding;
+            # pair it against the private left trace only.
+            self.left_trace.maybe_compact(key, epoch)
+            mine = self.left_trace.get(key)
+            record(key, len(values))
+            if mine is None:
+                return
+            pairs = 0
+            for t2, vals in mine.entries.items():
+                out_time = lub(time, t2)
+                slot = outputs.setdefault(out_time, {})
+                pairs += len(vals)
+                for value, mult in values.items():
+                    for v2, m2 in vals.items():
+                        out = f(key, v2, value)
+                        slot[out] = slot.get(out, 0) + mult * m2
+            if pairs:
+                record(key, pairs * len(values))
+
+    # -- process-backend entry points (run inside the worker) -----------------
+
+    def remote_task(self, payload):
+        (_kind, port, time), items = payload
+        out = {}
+        for key, values in items:
+            events = []
+            key_outputs: Dict[Time, Diff] = {}
+            self._probe_key(port, time, key, values,
+                            lambda _key, units: events.append(units),
+                            key_outputs)
+            out[key] = (tuple(events), key_outputs)
+        return out
+
+    def remote_stats(self) -> int:
+        return self.left_trace.record_count()

@@ -80,7 +80,11 @@ class VariableOp(Operator):
         time = parent_time + (0,)
         switch = parent_time + (1,)
         grouped = self._group(diff)
-        self.in_trace.update_batch(time, grouped)
+        cluster = self.dataflow.cluster
+        if cluster is None:
+            self.in_trace.update_batch(time, grouped)
+        else:
+            cluster.post_updates(self.index, "in", time, grouped)
         schedule = self.schedule.schedule
         for key in grouped:
             schedule(key, time)
@@ -95,7 +99,11 @@ class VariableOp(Operator):
             raise AssertionError("variable body deltas arrive on port 1")
         shifted = time[:-1] + (time[-1] + 1,)
         grouped = self._group(diff)
-        self.body_trace.update_batch(time, grouped)
+        cluster = self.dataflow.cluster
+        if cluster is None:
+            self.body_trace.update_batch(time, grouped)
+        else:
+            cluster.post_updates(self.index, "body", time, grouped)
         schedule = self.schedule.schedule
         for key in grouped:
             schedule(key, shifted)
@@ -123,35 +131,77 @@ class VariableOp(Operator):
         if not keys:
             return
         meter = self.dataflow.meter
-        iteration = time[-1]
-        epoch = time[0]
+        cluster = self.dataflow.cluster
         out_diff: Diff = {}
-        for key in keys:
-            self.in_trace.maybe_compact(key, epoch)
-            self.body_trace.maybe_compact(key, epoch)
-            self.out_trace.maybe_compact(key, epoch)
-            if iteration == 0:
-                target = self.in_trace.accumulate(key, time)
-            else:
-                body_time = time[:-1] + (iteration - 1,)
-                target = self.body_trace.accumulate(key, body_time)
-            consolidate(target)
-            meter.record(key, max(1, len(target)))
-            current = self.out_trace.accumulate_strict(key, time)
-            delta = dict(target)
-            add_into(delta, current, factor=-1)
-            prior = self.out_trace.get(key)
-            stored = prior.take(time) if prior is not None else {}
-            emit = dict(delta)
-            add_into(emit, stored, factor=-1)
-            if delta:
-                self.out_trace.update(key, time, delta)
-            if emit:
-                meter.record(key, len(emit))
+        if cluster is None:
+            for key in keys:
+                emit = self._flush_key(key, time, meter.record)
+                for value, mult in emit.items():
+                    rec = (key, value)
+                    out_diff[rec] = out_diff.get(rec, 0) + mult
+        else:
+            ordered = list(keys)
+            replies = cluster.run_tasks(self.index, ("flush", time),
+                                        [(key, None) for key in ordered])
+            for key in ordered:
+                events, emit = replies[key]
+                for units in events:
+                    meter.record(key, units)
                 for value, mult in emit.items():
                     rec = (key, value)
                     out_diff[rec] = out_diff.get(rec, 0) + mult
         self.send(time, consolidate(out_diff))
+
+    def _flush_key(self, key: Any, time: Time, record) -> Diff:
+        """Per-key loop-variable kernel (runs on the key's owner)."""
+        iteration = time[-1]
+        epoch = time[0]
+        self.in_trace.maybe_compact(key, epoch)
+        self.body_trace.maybe_compact(key, epoch)
+        self.out_trace.maybe_compact(key, epoch)
+        if iteration == 0:
+            target = self.in_trace.accumulate(key, time)
+        else:
+            body_time = time[:-1] + (iteration - 1,)
+            target = self.body_trace.accumulate(key, body_time)
+        consolidate(target)
+        record(key, max(1, len(target)))
+        current = self.out_trace.accumulate_strict(key, time)
+        delta = dict(target)
+        add_into(delta, current, factor=-1)
+        prior = self.out_trace.get(key)
+        stored = prior.take(time) if prior is not None else {}
+        emit = dict(delta)
+        add_into(emit, stored, factor=-1)
+        if delta:
+            self.out_trace.update(key, time, delta)
+        if emit:
+            record(key, len(emit))
+        return emit
+
+    # -- process-backend entry points (run inside the worker) -----------------
+
+    def remote_update(self, payload) -> None:
+        tag, time, grouped = payload
+        if tag == "in":
+            self.in_trace.update_batch(time, grouped)
+        else:
+            self.body_trace.update_batch(time, grouped)
+
+    def remote_task(self, payload):
+        (_kind, time), items = payload
+        out = {}
+        for key, _none in items:
+            events: List[int] = []
+            emit = self._flush_key(key, time,
+                                   lambda _key, units: events.append(units))
+            out[key] = (tuple(events), emit)
+        return out
+
+    def remote_stats(self) -> int:
+        return (self.in_trace.record_count()
+                + self.body_trace.record_count()
+                + self.out_trace.record_count())
 
     def pending_times(self) -> Iterable[Time]:
         return self.schedule.pending_times()

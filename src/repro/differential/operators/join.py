@@ -12,11 +12,18 @@ the join correct under partially ordered times: e.g. an edge added at view
 ``(0, j)`` of the previous view at times ``(1, j)`` — timestamps at which
 neither input carries a difference (cf. the Bellman-Ford trace in the
 paper's Table 1).
+
+The per-key work — trace update, compaction probe, pairing — lives in
+:meth:`JoinOp._join_key`, a kernel that runs in-process on the inline
+backend and on the key's owning worker on the process backend (see
+``docs/parallel.md``). The kernel reports its meter events through a
+callback so the coordinator can replay them in original key order,
+keeping counters byte-identical across backends.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, List, Tuple
 
 from repro.differential.multiset import Diff, consolidate
 from repro.differential.operators.base import Operator
@@ -34,11 +41,6 @@ class JoinOp(Operator):
         self.traces = (Trace(name + ".left"), Trace(name + ".right"))
 
     def on_delta(self, port: int, time: Time, diff: Diff) -> None:
-        meter = self.dataflow.meter
-        mine = self.traces[port]
-        other = self.traces[1 - port]
-        f = self.f
-        epoch = time[0]
         # Group the incoming batch by key: one trace touch, one compaction
         # probe and one meter call per key instead of one per record. The
         # pairing below is bilinear, so pairing the whole per-key value
@@ -58,32 +60,73 @@ class JoinOp(Operator):
             else:
                 slot[value] = slot.get(value, 0) + mult
         outputs: Dict[Time, Diff] = {}
-        for key, values in grouped.items():
-            # First incorporate into our own trace so the opposite side's
-            # future deltas at this timestamp pair against it (each pair of
-            # diffs is thus counted exactly once).
-            mine.update(key, time, values)
-            other.maybe_compact(key, epoch)
-            other_key = other.get(key)
-            meter.record(key, len(values))
-            if other_key is None:
-                continue
-            pairs = 0
-            for t2, vals in other_key.entries.items():
-                out_time = lub(time, t2)
-                slot = outputs.setdefault(out_time, {})
-                pairs += len(vals)
-                if port == 0:
-                    for value, mult in values.items():
-                        for v2, m2 in vals.items():
-                            out = f(key, value, v2)
-                            slot[out] = slot.get(out, 0) + mult * m2
-                else:
-                    for value, mult in values.items():
-                        for v2, m2 in vals.items():
-                            out = f(key, v2, value)
-                            slot[out] = slot.get(out, 0) + mult * m2
-            if pairs:
-                meter.record(key, pairs * len(values))
+        cluster = self.dataflow.cluster
+        record = self.dataflow.meter.record
+        if cluster is None:
+            for key, values in grouped.items():
+                self._join_key(port, time, key, values, record, outputs)
+        else:
+            replies = cluster.run_tasks(self.index, ("delta", port, time),
+                                        grouped.items())
+            for key in grouped:
+                events, key_outputs = replies[key]
+                for units in events:
+                    record(key, units)
+                for out_time, emitted in key_outputs.items():
+                    slot = outputs.setdefault(out_time, {})
+                    for rec, mult in emitted.items():
+                        slot[rec] = slot.get(rec, 0) + mult
         for out_time in sorted(outputs):
             self.send(out_time, consolidate(outputs[out_time]))
+
+    def _join_key(self, port: int, time: Time, key: Any, values: Diff,
+                  record: Callable[[Any, int], None],
+                  outputs: Dict[Time, Diff]) -> None:
+        """Per-key join kernel (runs on the key's owner)."""
+        mine = self.traces[port]
+        other = self.traces[1 - port]
+        f = self.f
+        epoch = time[0]
+        # First incorporate into our own trace so the opposite side's
+        # future deltas at this timestamp pair against it (each pair of
+        # diffs is thus counted exactly once).
+        mine.update(key, time, values)
+        other.maybe_compact(key, epoch)
+        other_key = other.get(key)
+        record(key, len(values))
+        if other_key is None:
+            return
+        pairs = 0
+        for t2, vals in other_key.entries.items():
+            out_time = lub(time, t2)
+            slot = outputs.setdefault(out_time, {})
+            pairs += len(vals)
+            if port == 0:
+                for value, mult in values.items():
+                    for v2, m2 in vals.items():
+                        out = f(key, value, v2)
+                        slot[out] = slot.get(out, 0) + mult * m2
+            else:
+                for value, mult in values.items():
+                    for v2, m2 in vals.items():
+                        out = f(key, v2, value)
+                        slot[out] = slot.get(out, 0) + mult * m2
+        if pairs:
+            record(key, pairs * len(values))
+
+    # -- process-backend entry points (run inside the worker) -----------------
+
+    def remote_task(self, payload) -> Dict[Any, Tuple[tuple, Dict]]:
+        (_kind, port, time), items = payload
+        out: Dict[Any, Tuple[tuple, Dict]] = {}
+        for key, values in items:
+            events: List[int] = []
+            key_outputs: Dict[Time, Diff] = {}
+            self._join_key(port, time, key, values,
+                           lambda _key, units: events.append(units),
+                           key_outputs)
+            out[key] = (tuple(events), key_outputs)
+        return out
+
+    def remote_stats(self) -> int:
+        return sum(trace.record_count() for trace in self.traces)

@@ -9,7 +9,7 @@ differential computation provides across the views of a collection.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Tuple
 
 from repro.differential.multiset import Diff, add_into, consolidate
 from repro.differential.operators.base import Operator
@@ -52,7 +52,15 @@ class ReduceOp(Operator):
                 grouped[key] = {value: mult}
             else:
                 slot[value] = slot.get(value, 0) + mult
-        self.in_trace.update_batch(time, grouped)
+        cluster = self.dataflow.cluster
+        if cluster is None:
+            self.in_trace.update_batch(time, grouped)
+        else:
+            # Keyed state lives on the key's owning worker; the schedule
+            # stays on the coordinator so pass structure is backend
+            # independent. Pipes are FIFO, so this update lands before any
+            # flush task that reads it.
+            cluster.post_updates(self.index, "in", time, grouped)
         schedule = self.schedule.schedule
         for key in grouped:
             schedule(key, time)
@@ -62,42 +70,80 @@ class ReduceOp(Operator):
         if not keys:
             return
         meter = self.dataflow.meter
-        epoch = time[0]
+        cluster = self.dataflow.cluster
         out_diff: Diff = {}
-        for key in keys:
-            self.in_trace.maybe_compact(key, epoch)
-            self.out_trace.maybe_compact(key, epoch)
-            acc_in = self.in_trace.accumulate(key, time)
-            consolidate(acc_in)
-            meter.record(key, max(1, len(acc_in)))
-            target: Diff = {}
-            if acc_in:
-                for value, mult in acc_in.items():
-                    if mult < 0:
-                        raise ValueError(
-                            f"reduce {self.name}: key {key!r} accumulated "
-                            f"negative multiplicity {mult} for {value!r} "
-                            f"at {time}"
-                        )
-                for out_value in self.logic(key, acc_in):
-                    target[out_value] = target.get(out_value, 0) + 1
-            current = self.out_trace.accumulate_strict(key, time)
-            # Desired diff at `time`: target minus what earlier times give.
-            delta = dict(target)
-            add_into(delta, current, factor=-1)
-            # Replace whatever we previously stored at exactly `time`.
-            prior = self.out_trace.get(key)
-            stored = prior.take(time) if prior is not None else {}
-            emit = dict(delta)
-            add_into(emit, stored, factor=-1)
-            if delta:
-                self.out_trace.update(key, time, delta)
-            if emit:
-                meter.record(key, len(emit))
+        if cluster is None:
+            for key in keys:
+                emit = self._flush_key(key, time, meter.record)
+                for value, mult in emit.items():
+                    rec = (key, value)
+                    out_diff[rec] = out_diff.get(rec, 0) + mult
+        else:
+            ordered = list(keys)
+            replies = cluster.run_tasks(self.index, ("flush", time),
+                                        [(key, None) for key in ordered])
+            for key in ordered:
+                events, emit = replies[key]
+                for units in events:
+                    meter.record(key, units)
                 for value, mult in emit.items():
                     rec = (key, value)
                     out_diff[rec] = out_diff.get(rec, 0) + mult
         self.send(time, consolidate(out_diff))
+
+    def _flush_key(self, key: Any, time: Time,
+                   record: Callable[[Any, int], None]) -> Diff:
+        """Per-key reduction kernel (runs on the key's owner)."""
+        epoch = time[0]
+        self.in_trace.maybe_compact(key, epoch)
+        self.out_trace.maybe_compact(key, epoch)
+        acc_in = self.in_trace.accumulate(key, time)
+        consolidate(acc_in)
+        record(key, max(1, len(acc_in)))
+        target: Diff = {}
+        if acc_in:
+            for value, mult in acc_in.items():
+                if mult < 0:
+                    raise ValueError(
+                        f"reduce {self.name}: key {key!r} accumulated "
+                        f"negative multiplicity {mult} for {value!r} "
+                        f"at {time}"
+                    )
+            for out_value in self.logic(key, acc_in):
+                target[out_value] = target.get(out_value, 0) + 1
+        current = self.out_trace.accumulate_strict(key, time)
+        # Desired diff at `time`: target minus what earlier times give.
+        delta = dict(target)
+        add_into(delta, current, factor=-1)
+        # Replace whatever we previously stored at exactly `time`.
+        prior = self.out_trace.get(key)
+        stored = prior.take(time) if prior is not None else {}
+        emit = dict(delta)
+        add_into(emit, stored, factor=-1)
+        if delta:
+            self.out_trace.update(key, time, delta)
+        if emit:
+            record(key, len(emit))
+        return emit
+
+    # -- process-backend entry points (run inside the worker) -----------------
+
+    def remote_update(self, payload) -> None:
+        _tag, time, grouped = payload
+        self.in_trace.update_batch(time, grouped)
+
+    def remote_task(self, payload) -> Dict[Any, Tuple[tuple, Diff]]:
+        (_kind, time), items = payload
+        out: Dict[Any, Tuple[tuple, Diff]] = {}
+        for key, _none in items:
+            events: List[int] = []
+            emit = self._flush_key(key, time,
+                                   lambda _key, units: events.append(units))
+            out[key] = (tuple(events), emit)
+        return out
+
+    def remote_stats(self) -> int:
+        return self.in_trace.record_count() + self.out_trace.record_count()
 
     def pending_times(self) -> Iterable[Time]:
         return self.schedule.pending_times()

@@ -110,6 +110,31 @@ class DataflowError(GraphsurgeError):
     code = "dataflow"
 
 
+class WorkerFailedError(DataflowError):
+    """A process-backend worker died or stopped responding mid-superstep.
+
+    Carries the worker index and the superstep at which the coordinator
+    detected the failure, so operators and tests can tell *which* shard
+    went down and *when*. The coordinator never hangs on a dead worker:
+    detection is bounded by the cluster's poll/join timeouts (see
+    :mod:`repro.timely.cluster`).
+    """
+
+    code = "worker-failed"
+
+    def __init__(self, worker: int, superstep: int, detail: str = ""):
+        self.worker = worker
+        self.superstep = superstep
+        self.detail = detail
+        message = (f"worker {worker} failed during superstep {superstep}")
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+    def payload_context(self) -> Dict[str, Any]:
+        return {"worker": self.worker, "superstep": self.superstep}
+
+
 class ComputationError(GraphsurgeError):
     """A user analytics computation misbehaved (bad records, wrong shape)."""
 

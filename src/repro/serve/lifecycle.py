@@ -77,6 +77,9 @@ class ServerLifecycle:
         checkpointed = None
         if self.checkpoint_path is not None:
             checkpointed = self.session.checkpoint(self.checkpoint_path)
+        # Tear down resident dataflows — with the process backend these
+        # hold live worker children that must not outlive the daemon.
+        self.session.close()
         self.state = ServerState.STOPPED
         return {
             "reason": self.shutdown_reason or "requested",

@@ -131,9 +131,11 @@ class ResidentDataflow:
     """
 
     def __init__(self, computation: GraphComputation, workers: int = 1,
-                 fault_plan: Optional[FaultPlan] = None):
+                 fault_plan: Optional[FaultPlan] = None,
+                 backend: str = "inline"):
         self.computation = computation
         self.workers = workers
+        self.backend = backend
         self.fault_plan = fault_plan
         self.current: Diff = {}
         self.dataflow: Optional[Dataflow] = None
@@ -143,7 +145,8 @@ class ResidentDataflow:
 
     def _build(self) -> None:
         dataflow = Dataflow(workers=self.workers,
-                            fault_plan=self.fault_plan)
+                            fault_plan=self.fault_plan,
+                            backend=self.backend)
         edges = dataflow.new_input("edges")
         result = self.computation.build(dataflow, edges)
         self.capture = dataflow.capture(result, "results")
@@ -152,6 +155,9 @@ class ResidentDataflow:
         self.rebuilds += 1
 
     def poison(self) -> None:
+        if self.dataflow is not None:
+            # Release the resident worker processes (process backend).
+            self.dataflow.close()
         self.dataflow = None
         self.capture = None
         self.current = {}
@@ -204,10 +210,13 @@ class ServeSession:
 
     def __init__(self, system: Optional[Graphsurge] = None,
                  workers: int = 1,
-                 fault_plan: Optional[FaultPlan] = None):
+                 fault_plan: Optional[FaultPlan] = None,
+                 backend: Optional[str] = None):
         self.gs = system if system is not None else Graphsurge(
             workers=workers)
         self.workers = self.gs.workers
+        self.backend = (backend if backend is not None
+                        else getattr(self.gs, "backend", "inline"))
         self.fault_plan = fault_plan
         #: Bumped by every mutation; tags cache entries and responses.
         self.epoch = 0
@@ -262,7 +271,8 @@ class ServeSession:
         resident = self._residents.get(signature)
         if resident is None:
             resident = ResidentDataflow(computation, workers=self.workers,
-                                        fault_plan=self.fault_plan)
+                                        fault_plan=self.fault_plan,
+                                        backend=self.backend)
             self._residents[signature] = resident
         return resident
 
@@ -328,6 +338,17 @@ class ServeSession:
             "total_parallel_time": total_parallel,
         }
 
+    def close(self) -> None:
+        """Release every resident dataflow (and its worker cluster).
+
+        Idempotent. The serve lifecycle calls this after the drain so
+        process-backend worker children are torn down deterministically
+        instead of leaking past the daemon's exit.
+        """
+        for resident in self._residents.values():
+            resident.poison()
+        self._residents.clear()
+
     # -- introspection ---------------------------------------------------------
 
     def resident_memory(self) -> Dict[str, Any]:
@@ -354,6 +375,7 @@ class ServeSession:
             "epoch": self.epoch,
             "journal_entries": len(self.journal),
             "workers": self.workers,
+            "backend": self.backend,
         }
 
     # -- checkpoint / restore --------------------------------------------------

@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import DataflowError
+from repro.timely.cluster import ProcessCluster, validate_backend
 from repro.timely.meter import WorkMeter
 from repro.timely.worker import shard_for
 
@@ -37,6 +38,11 @@ Shards = List[List[Any]]
 
 class _TOperator:
     """A node of the batch dataflow graph."""
+
+    #: Whether the operator processes shards independently and can run on
+    #: a remote worker (see :class:`_ShardedOp`). Operators that touch
+    #: cross-shard or coordinator-resident state stay inline.
+    shardable = False
 
     def __init__(self, dataflow: "TimelyDataflow", name: str,
                  inputs: Sequence["_TOperator"]):
@@ -51,6 +57,53 @@ class _TOperator:
 
     def _empty(self) -> Shards:
         return [[] for _ in range(self.dataflow.workers)]
+
+
+class _ShardedOp(_TOperator):
+    """An operator whose work is one independent kernel per worker shard.
+
+    Subclasses implement :meth:`shard_kernel`, which maps one worker's
+    input shard(s) to ``(events, payload)`` where ``events`` is a tuple of
+    meter batch sizes (each entry meaning "that many unit-cost
+    ``meter.record(worker)`` calls, in order") and ``payload`` is the
+    shard's output. The inline backend runs the kernel in-process; the
+    process backend ships the shard to the owning worker and replays the
+    returned events into the coordinator's meter — producing the identical
+    ``meter.record`` call sequence either way, which is what keeps
+    ``total_work``/``parallel_time``/traces byte-identical across
+    backends.
+    """
+
+    shardable = True
+
+    def shard_kernel(self, worker: int,
+                     shard_inputs: List[List[Any]]) -> Tuple[tuple, Any]:
+        raise NotImplementedError
+
+    def merge_shard(self, worker: int, payload: Any, out: Shards) -> None:
+        out[worker] = payload
+
+    def evaluate(self, input_shards):
+        meter = self.dataflow.meter
+        out = self._empty()
+        for worker in range(self.dataflow.workers):
+            events, payload = self.shard_kernel(
+                worker, [shards[worker] for shards in input_shards])
+            for count in events:
+                for _record in range(count):
+                    meter.record(worker)
+            self.merge_shard(worker, payload, out)
+        return out
+
+    # -- process-backend entry points (run inside the worker) -----------------
+
+    def remote_task(self, payload):
+        _header, items = payload
+        return {worker: self.shard_kernel(worker, shard_inputs)
+                for worker, shard_inputs in items}
+
+    def remote_stats(self) -> int:
+        return 0  # batch operators hold no resident state
 
 
 class _InputOp(_TOperator):
@@ -69,55 +122,53 @@ class _InputOp(_TOperator):
         return shards
 
 
-class _MapOp(_TOperator):
+class _MapOp(_ShardedOp):
     def __init__(self, dataflow, name, source, fn, flat=False):
         super().__init__(dataflow, name, [source])
         self.fn = fn
         self.flat = flat
 
-    def evaluate(self, input_shards):
-        meter = self.dataflow.meter
-        out = self._empty()
-        for worker, shard in enumerate(input_shards[0]):
-            for record in shard:
-                meter.record(worker)
-                if self.flat:
-                    out[worker].extend(self.fn(record))
-                else:
-                    out[worker].append(self.fn(record))
-        return out
+    def shard_kernel(self, worker, shard_inputs):
+        shard = shard_inputs[0]
+        result: List[Any] = []
+        for record in shard:
+            if self.flat:
+                result.extend(self.fn(record))
+            else:
+                result.append(self.fn(record))
+        return (len(shard),), result
 
 
-class _FilterOp(_TOperator):
+class _FilterOp(_ShardedOp):
     def __init__(self, dataflow, name, source, predicate):
         super().__init__(dataflow, name, [source])
         self.predicate = predicate
 
-    def evaluate(self, input_shards):
-        meter = self.dataflow.meter
-        out = self._empty()
-        for worker, shard in enumerate(input_shards[0]):
-            for record in shard:
-                meter.record(worker)
-                if self.predicate(record):
-                    out[worker].append(record)
-        return out
+    def shard_kernel(self, worker, shard_inputs):
+        shard = shard_inputs[0]
+        result = [record for record in shard if self.predicate(record)]
+        return (len(shard),), result
 
 
-class _ExchangeOp(_TOperator):
+class _ExchangeOp(_ShardedOp):
     def __init__(self, dataflow, name, source, key_fn):
         super().__init__(dataflow, name, [source])
         self.key_fn = key_fn
 
-    def evaluate(self, input_shards):
-        meter = self.dataflow.meter
-        out = self._empty()
+    def shard_kernel(self, worker, shard_inputs):
+        shard = shard_inputs[0]
         workers = self.dataflow.workers
-        for worker, shard in enumerate(input_shards[0]):
-            for record in shard:
-                meter.record(worker)
-                out[shard_for(self.key_fn(record), workers)].append(record)
-        return out
+        routed: List[List[Any]] = [[] for _ in range(workers)]
+        for record in shard:
+            routed[shard_for(self.key_fn(record), workers)].append(record)
+        return (len(shard),), routed
+
+    def merge_shard(self, worker, payload, out):
+        # Fragments merge in source-worker order (the caller iterates
+        # workers 0..W-1), matching the order the old in-loop append
+        # produced.
+        for target, fragment in enumerate(payload):
+            out[target].extend(fragment)
 
 
 class _ConcatOp(_TOperator):
@@ -129,7 +180,7 @@ class _ConcatOp(_TOperator):
         return out
 
 
-class _AggregateOp(_TOperator):
+class _AggregateOp(_ShardedOp):
     """Group by key *within each worker* and fold each group.
 
     Callers exchange by the group key first (as in timely) so each group
@@ -142,40 +193,36 @@ class _AggregateOp(_TOperator):
         self.key_fn = key_fn
         self.fold = fold
 
-    def evaluate(self, input_shards):
-        meter = self.dataflow.meter
-        out = self._empty()
-        for worker, shard in enumerate(input_shards[0]):
-            groups: Dict[Any, List[Any]] = {}
-            for record in shard:
-                meter.record(worker)
-                groups.setdefault(self.key_fn(record), []).append(record)
-            for key, records in groups.items():
-                meter.record(worker)
-                out[worker].append((key, self.fold(records)))
-        return out
+    def shard_kernel(self, worker, shard_inputs):
+        shard = shard_inputs[0]
+        groups: Dict[Any, List[Any]] = {}
+        for record in shard:
+            groups.setdefault(self.key_fn(record), []).append(record)
+        result = [(key, self.fold(records))
+                  for key, records in groups.items()]
+        # One unit per record grouped, then one per group folded — the
+        # same two metering phases the in-loop version performed.
+        return (len(shard), len(groups)), result
 
 
-class _JoinOp(_TOperator):
+class _JoinOp(_ShardedOp):
     """Hash equi-join of two keyed streams (records are (key, value))."""
 
     def __init__(self, dataflow, name, left, right, merge):
         super().__init__(dataflow, name, [left, right])
         self.merge = merge
 
-    def evaluate(self, input_shards):
-        meter = self.dataflow.meter
-        out = self._empty()
-        for worker in range(self.dataflow.workers):
-            table: Dict[Any, List[Any]] = {}
-            for key, value in input_shards[0][worker]:
-                meter.record(worker)
-                table.setdefault(key, []).append(value)
-            for key, value in input_shards[1][worker]:
-                meter.record(worker)
-                for other in table.get(key, ()):
-                    out[worker].append(self.merge(key, other, value))
-        return out
+    def shard_kernel(self, worker, shard_inputs):
+        left, right = shard_inputs
+        result: List[Any] = []
+        table: Dict[Any, List[Any]] = {}
+        for key, value in left:
+            table.setdefault(key, []).append(value)
+        for key, value in right:
+            for other in table.get(key, ()):
+                result.append(self.merge(key, other, value))
+        # One unit per build-side record, then one per probe-side record.
+        return (len(left), len(right)), result
 
 
 class _CaptureOp(_TOperator):
@@ -246,10 +293,20 @@ class TStream:
 
 
 class TimelyDataflow:
-    """A runnable batch dataflow over simulated workers."""
+    """A runnable batch dataflow over simulated or real workers.
 
-    def __init__(self, workers: int = 1, meter: Optional[WorkMeter] = None):
+    ``backend="inline"`` (default) runs every shard in-process;
+    ``backend="process"`` forks one OS process per worker at :meth:`run`
+    and ships shards over exchange channels (see
+    :mod:`repro.timely.cluster` and ``docs/parallel.md``). Counters and
+    outputs are byte-identical between backends.
+    """
+
+    def __init__(self, workers: int = 1, meter: Optional[WorkMeter] = None,
+                 backend: str = "inline"):
         self.workers = max(1, workers)
+        validate_backend(backend, self.workers)
+        self.backend = backend
         self.meter = meter if meter is not None else WorkMeter(self.workers)
         self._operators: List[_TOperator] = []
         self._inputs: Dict[str, _InputOp] = {}
@@ -275,13 +332,53 @@ class TimelyDataflow:
             if op is None:
                 raise DataflowError(f"unknown input {name!r}")
             op.pending = list(records)
-        for op in self._operators:
-            shards = [upstream.output for upstream in op.inputs]
-            for upstream, shard in zip(op.inputs, shards):
-                if shard is None:
-                    raise DataflowError(
-                        f"operator {op.name} ran before its input "
-                        f"{upstream.name}")
-            self.meter.begin_step()
-            op.output = op.evaluate(shards)
-            self.meter.end_step()
+        cluster = None
+        if self.backend == "process":
+            # Fork one worker per shard for this run; batch dataflows are
+            # one-shot, so the cluster's lifetime is the run's.
+            registry = {index: op
+                        for index, op in enumerate(self._operators)
+                        if op.shardable}
+            cluster = ProcessCluster(
+                self.workers, registry,
+                superstep=lambda: self.meter.supersteps)
+        try:
+            for op_index, op in enumerate(self._operators):
+                shards = [upstream.output for upstream in op.inputs]
+                for upstream, shard in zip(op.inputs, shards):
+                    if shard is None:
+                        raise DataflowError(
+                            f"operator {op.name} ran before its input "
+                            f"{upstream.name}")
+                self.meter.begin_step()
+                if cluster is not None and op.shardable:
+                    op.output = self._evaluate_remote(
+                        cluster, op_index, op, shards)
+                else:
+                    op.output = op.evaluate(shards)
+                self.meter.end_step()
+        finally:
+            if cluster is not None:
+                cluster.close()
+
+    def _evaluate_remote(self, cluster: ProcessCluster, op_index: int,
+                         op: _ShardedOp, input_shards: List[Shards]) -> Shards:
+        """Run one sharded operator pass on the process cluster.
+
+        Ships each worker its shard(s), then replays the returned meter
+        events and merges outputs in worker order 0..W-1 — the same
+        ``meter.record`` sequence and output layout as the inline loop.
+        """
+        items = [(worker, [shards[worker] for shards in input_shards])
+                 for worker in range(self.workers)]
+        replies = cluster.run_tasks(op_index, None, items,
+                                    route=lambda worker: worker)
+        meter = self.meter
+        out = op._empty()
+        for worker in range(self.workers):
+            events, payload = replies[worker]
+            for count in events:
+                for _record in range(count):
+                    meter.record(worker)
+            op.merge_shard(worker, payload, out)
+        return out

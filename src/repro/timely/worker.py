@@ -20,7 +20,11 @@ def stable_hash(value: Any) -> int:
     """Return a 64-bit hash that is stable across processes.
 
     Supports the record components used by the engine: ints, strings,
-    booleans, floats, None, and (nested) tuples thereof.
+    booleans, floats, bytes, None, frozensets, and (nested) tuples
+    thereof. Exchange correctness for the process backend depends on this
+    being identical in every interpreter — never fall back to the salted
+    built-in ``hash``, and never depend on an iteration order that the
+    string hash seed can perturb (see the frozenset branch).
     """
     if isinstance(value, bool):
         return 0x9E3779B97F4A7C15 if value else 0x2545F4914F6CDD1D
@@ -47,12 +51,30 @@ def stable_hash(value: Any) -> int:
             h ^= byte
             h = (h * _FNV_PRIME) & _MASK
         return h
+    if isinstance(value, bytes):
+        # Domain-separate from str so b"abc" and "abc" don't collide
+        # systematically.
+        h = (_FNV_OFFSET * _FNV_PRIME) & _MASK
+        for byte in value:
+            h ^= byte
+            h = (h * _FNV_PRIME) & _MASK
+        return h
     if isinstance(value, tuple):
         h = _FNV_OFFSET
         for item in value:
             h ^= stable_hash(item)
             h = (h * _FNV_PRIME) & _MASK
         return h
+    if isinstance(value, frozenset):
+        # A frozenset's iteration order (and hence its repr) follows the
+        # built-in hash, which is seeded per process for strings — the old
+        # repr fallback silently sharded {"a", "b"} differently under
+        # different PYTHONHASHSEEDs. Fold with XOR, which is order
+        # insensitive, then avalanche through the int branch.
+        h = 0
+        for item in value:
+            h ^= stable_hash(item)
+        return stable_hash(h)
     # Fall back to the repr for exotic-but-hashable records.
     return stable_hash(repr(value))
 

@@ -14,6 +14,10 @@ Invariants:
   equals the plain-Python reference on that view's full edge list.
 * **workers** — per-view outputs and total work are identical across
   simulated worker counts (sharding changes parallel time only).
+* **backend** — per-view outputs and *both* metered counters are
+  byte-identical between the inline and process execution backends
+  (see ``docs/parallel.md``): moving shards onto real OS processes is
+  purely an execution-strategy change.
 * **permutation** — running the ordering optimizer's permuted collection
   yields the same output per view *name*.
 * **checkpoint** — kill the run at a view boundary via
@@ -50,8 +54,8 @@ from repro.verify.oracles import (
 )
 
 #: Invariant names understood by :func:`build_check` / the repro replayer.
-INVARIANTS = ("oracle", "workers", "permutation", "checkpoint", "tracing",
-              "analysis")
+INVARIANTS = ("oracle", "workers", "backend", "permutation", "checkpoint",
+              "tracing", "analysis")
 
 
 @dataclass
@@ -74,8 +78,9 @@ class Mismatch:
 
 def _run(collection: MaterializedCollection, spec: AlgorithmSpec,
          params: dict, mode: ExecutionMode, workers: int = 1,
-         tracer=None, **kwargs):
-    executor = AnalyticsExecutor(workers=workers, tracer=tracer)
+         tracer=None, backend: str = "inline", **kwargs):
+    executor = AnalyticsExecutor(workers=workers, tracer=tracer,
+                                 backend=backend)
     return executor.run_on_collection(
         spec.computation(params), collection, mode=mode,
         keep_outputs=True, cost_metric="work", **kwargs)
@@ -135,6 +140,48 @@ def check_workers(collection: MaterializedCollection, spec: AlgorithmSpec,
                     "workers", spec.name,
                     f"outputs differ between workers={base_workers} and "
                     f"workers={workers}",
+                    view=collection.view_names[index], check=check)
+    return None
+
+
+# -- backend invariance ------------------------------------------------------
+
+
+def check_backends(collection: MaterializedCollection, spec: AlgorithmSpec,
+                   params: dict,
+                   backends: Sequence[str] = ("inline", "process"),
+                   workers: int = 2) -> Optional[Mismatch]:
+    """Inline and process backends are observationally identical.
+
+    Stronger than :func:`check_workers`: not just outputs and total work
+    but also ``total_parallel_time`` must match byte-for-byte, because
+    the process backend replays the workers' meter events on the
+    coordinator in the original order.
+    """
+    check = {"invariant": "backend", "backends": list(backends),
+             "workers": workers}
+    baseline = None
+    for backend in backends:
+        result = _run(collection, spec, params, ExecutionMode.DIFF_ONLY,
+                      workers=workers, backend=backend)
+        outputs = [canonical_diff(view.output) for view in result.views]
+        observed = (result.total_work, result.total_parallel_time)
+        if baseline is None:
+            baseline = (backend, outputs, observed)
+            continue
+        base_backend, base_outputs, base_observed = baseline
+        if observed != base_observed:
+            return Mismatch(
+                "backend", spec.name,
+                f"(work, parallel_time) {observed} with backend={backend} "
+                f"!= {base_observed} with backend={base_backend}",
+                check=check)
+        for index, (got, want) in enumerate(zip(outputs, base_outputs)):
+            if got != want:
+                return Mismatch(
+                    "backend", spec.name,
+                    f"outputs differ between backend={base_backend} and "
+                    f"backend={backend}",
                     view=collection.view_names[index], check=check)
     return None
 
@@ -320,6 +367,11 @@ def build_check(spec: AlgorithmSpec, params: dict, check: Dict[str, Any]
         counts = tuple(check.get("worker_counts", (1, 4)))
         return lambda collection: check_workers(collection, spec, params,
                                                 worker_counts=counts)
+    if invariant == "backend":
+        backends = tuple(check.get("backends", ("inline", "process")))
+        workers = int(check.get("workers", 2))
+        return lambda collection: check_backends(
+            collection, spec, params, backends=backends, workers=workers)
     if invariant == "permutation":
         seed = int(check.get("perm_seed", 0))
         method = check.get("order_method", "random")

@@ -107,6 +107,46 @@ class TestRun:
         assert "Chrome trace" not in capsys.readouterr().out
 
 
+class TestBackendFlag:
+    def test_run_on_process_backend(self, graph_files, capsys):
+        argv = load_args(graph_files) + [
+            "--workers", "2", "--backend", "process", "run", "wcc", "g"]
+        assert main(argv) == 0
+        assert "WCC on g" in capsys.readouterr().out
+
+    def test_process_backend_matches_inline(self, graph_files, capsys):
+        def run(extra):
+            argv = load_args(graph_files) + extra + [
+                "--execute", "create view collection hist on g "
+                             "[a: year <= 2016], [b: year <= 2019]",
+                "run", "wcc", "hist", "--mode", "diff-only"]
+            assert main(argv) == 0
+            # Keep the deterministic columns (view, strategy, work);
+            # wall seconds legitimately differ between backends.
+            return [(line.split()[0], line.split()[1], line.split()[-2])
+                    for line in capsys.readouterr().out.splitlines()
+                    if line.strip().endswith("work")]
+
+        process = run(["--workers", "2", "--backend", "process"])
+        inline = run(["--workers", "2"])
+        assert process and process == inline
+
+    def test_process_backend_needs_two_workers(self, graph_files, capsys):
+        argv = load_args(graph_files) + ["--backend", "process",
+                                         "run", "wcc", "g"]
+        assert main(argv) == 1
+        assert "workers >= 2" in capsys.readouterr().err
+
+    def test_serve_flags_override_globals(self, graph_files, capsys):
+        # serve --backend process with the global default of one worker
+        # is invalid and must be refused at boot with a ConfigError —
+        # before any socket is bound.
+        argv = load_args(graph_files) + [
+            "serve", "--backend", "process"]
+        assert main(argv) == 1
+        assert "workers >= 2" in capsys.readouterr().err
+
+
 class TestProfile:
     def collection_args(self, graph_files):
         return load_args(graph_files) + [

@@ -73,6 +73,28 @@ class TestDrainGate:
         lifecycle.request_shutdown("second")
         assert lifecycle.shutdown_reason == "first"
 
+    def test_shutdown_closes_resident_dataflows(self, app):
+        # With the process backend, residents hold live worker children;
+        # the daemon must tear them down on the clean path rather than
+        # leak them past exit (or hang multiprocessing's exit-time join).
+        async def scenario():
+            lifecycle = ServerLifecycle(app.session, app.admission,
+                                        drain_timeout=1.0)
+            app.lifecycle = lifecycle
+            lifecycle.mark_ready()
+            await call(app, "POST", "/query", {"gvdl": HIST_GVDL})
+            await call(app, "POST", "/run",
+                       {"computation": "wcc", "target": "hist"})
+            assert app.session._residents
+            residents = list(app.session._residents.values())
+            lifecycle.request_shutdown()
+            await lifecycle.shutdown()
+            return residents
+
+        residents = asyncio.run(scenario())
+        assert app.session._residents == {}
+        assert all(resident.dataflow is None for resident in residents)
+
 
 class TestRunServerLoop:
     def test_boot_serve_drain_checkpoint(self, app, call_graph, tmp_path):

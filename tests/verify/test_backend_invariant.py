@@ -1,0 +1,55 @@
+"""The fuzzer's backend-invariance property (inline vs process)."""
+
+from repro.verify.generator import random_churn_collection
+from repro.verify.invariants import INVARIANTS, build_check, check_backends
+from repro.verify.oracles import ALGORITHMS
+
+WCC = ALGORITHMS["wcc"]
+BFS = ALGORITHMS["bfs"]
+
+
+def collection(seed=11):
+    return random_churn_collection(seed=seed, num_views=4, num_nodes=8,
+                                   churn=5)
+
+
+class TestBackendInvariant:
+    def test_passes_on_healthy_engine(self):
+        assert check_backends(collection(), WCC, {}) is None
+
+    def test_passes_with_params_and_more_workers(self):
+        coll = collection(seed=23)
+        params = BFS.sample_params(__import__("random").Random(0),
+                                   list(range(8)))
+        assert check_backends(coll, BFS, params, workers=3) is None
+
+    def test_registered_in_invariants(self):
+        assert "backend" in INVARIANTS
+
+    def test_build_check_round_trip(self):
+        check = {"invariant": "backend",
+                 "backends": ["inline", "process"], "workers": 2}
+        rebuilt = build_check(WCC, {}, check)
+        assert rebuilt(collection()) is None
+
+    def test_detects_counter_divergence(self, monkeypatch):
+        # Force the "process" leg to see a perturbed meter by patching
+        # _run to inflate total_work for that backend: the check must
+        # report a backend mismatch naming both values.
+        from repro.verify import invariants
+
+        real_run = invariants._run
+
+        def crooked_run(coll, spec, params, mode, workers=1, tracer=None,
+                        backend="inline", **kwargs):
+            result = real_run(coll, spec, params, mode, workers=workers,
+                              tracer=tracer, backend="inline", **kwargs)
+            if backend == "process":
+                result.total_work += 1
+            return result
+
+        monkeypatch.setattr(invariants, "_run", crooked_run)
+        mismatch = invariants.check_backends(collection(), WCC, {})
+        assert mismatch is not None
+        assert mismatch.invariant == "backend"
+        assert "backend=process" in mismatch.detail
