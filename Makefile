@@ -5,7 +5,8 @@ export PYTHONPATH := src
 FUZZ_SEED ?= 7
 FUZZ_ITERATIONS ?= 25
 
-.PHONY: test analyze fuzz fuzz-soak bench bench-parallel serve-smoke
+.PHONY: test analyze fuzz fuzz-soak bench bench-parallel serve-smoke \
+	stream-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -45,3 +46,12 @@ bench-parallel:
 # shutdown with a valid session checkpoint. See docs/serving.md.
 serve-smoke:
 	$(PYTHON) -m repro.serve.smoke
+
+# Stream a 60-epoch seeded churn source through continuously maintained
+# queries on both backends: per-epoch snapshots must equal the plain
+# references on the accumulated edges, inline/process must be
+# byte-identical, work must scale with the batch (not the graph),
+# capture traces stay bounded under compaction, and a journaled stream
+# killed mid-way resumes byte-identically. See docs/streaming.md.
+stream-smoke:
+	$(PYTHON) -m repro.stream.smoke

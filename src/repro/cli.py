@@ -61,6 +61,7 @@ from repro.core.computation import GraphComputation
 from repro.core.executor import CollectionRunResult, ExecutionMode
 from repro.core.system import Graphsurge
 from repro.errors import GraphsurgeError
+from repro.timely.worker import canonical_order_key
 
 
 def build_computation(name: str, args: argparse.Namespace) -> GraphComputation:
@@ -271,6 +272,61 @@ def build_parser() -> argparse.ArgumentParser:
                             "(overrides the global --backend; see "
                             "docs/parallel.md)")
 
+    stream = subcommands.add_parser(
+        "stream", help="stream edge batches into continuously maintained "
+                       "queries (see docs/streaming.md)")
+    stream.add_argument(
+        "queries", nargs="+", metavar="QUERY",
+        help="computations to maintain, as NAME or NAME:key=value,... "
+             "e.g. wcc, bfs:source=3, pagerank:iterations=5, "
+             "mpsp:pairs=1-4;2-5 (ignored with --resume: the journal "
+             "header pins the queries)")
+    stream.add_argument("--target", default=None,
+                        help="loaded graph or view; seeds the stream "
+                             "for the churn source, is replayed edge by "
+                             "edge for the replay source (default: "
+                             "start empty)")
+    stream.add_argument("--stream-source", default="churn",
+                        choices=["churn", "replay"],
+                        help="batch source: seeded random churn, or "
+                             "temporal replay of --target's edges "
+                             "(default churn)")
+    stream.add_argument("--epochs", type=int, default=20,
+                        help="batches to ingest (default 20)")
+    stream.add_argument("--seed", type=int, default=0,
+                        help="churn source seed (default 0)")
+    stream.add_argument("--nodes", type=int, default=12,
+                        help="churn source vertex-id space (default 12)")
+    stream.add_argument("--churn", type=int, default=4,
+                        help="max appends and max retracts per churn "
+                             "batch (default 4)")
+    stream.add_argument("--ts-property", default="ts",
+                        help="edge property ordering the replay source "
+                             "(default ts)")
+    stream.add_argument("--window", type=int, default=None, metavar="N",
+                        help="sliding window: each batch also retracts "
+                             "what arrived N batches ago (append-only "
+                             "sources, i.e. replay)")
+    stream.add_argument("--journal", default=None, metavar="FILE",
+                        help="journal every ingested batch for resume")
+    stream.add_argument("--resume", action="store_true",
+                        help="replay the --journal file first, then "
+                             "continue the source from where it left "
+                             "off (pass the same source flags; for the "
+                             "replay source --epochs fixes the batch "
+                             "partition and must match the first run)")
+    stream.add_argument("--snapshot", action="store_true",
+                        help="print each query's full result after the "
+                             "final epoch")
+    stream.add_argument("--out", default=None, metavar="FILE",
+                        help="write per-epoch meter rows to a CSV file")
+    stream.add_argument("--compact-every", type=int, default=8,
+                        help="trace-compaction cadence in epochs; 0 "
+                             "disables (default 8)")
+    stream.add_argument("--keep-epochs", type=int, default=4,
+                        help="epochs of exact per-epoch history kept by "
+                             "compaction (default 4)")
+
     fuzz = subcommands.add_parser(
         "fuzz", help="fuzz randomized view collections against the "
                      "plain-Python oracles and metamorphic invariants")
@@ -346,7 +402,8 @@ def _write_collection_csv(result: CollectionRunResult, path: str) -> None:
             if view_result.output is None:
                 continue
             for (vertex, value), mult in sorted(
-                    view_result.output.items(), key=repr):
+                    view_result.output.items(),
+                    key=lambda item: canonical_order_key(item[0])):
                 for _ in range(mult):
                     writer.writerow([view_result.view_name, vertex, value])
 
@@ -417,7 +474,8 @@ def _run(session: Graphsurge, args: argparse.Namespace) -> None:
                 writer = csv.writer(handle)
                 writer.writerow(["vertex", "value"])
                 for (vertex, value), _mult in sorted(
-                        result.output.items(), key=repr):
+                        result.output.items(),
+                        key=lambda item: canonical_order_key(item[0])):
                     writer.writerow([vertex, value])
             print(f"wrote {args.out}")
     if tracer is not None:
@@ -524,6 +582,114 @@ def _serve(session: Graphsurge, args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_stream_queries(items: List[str]) -> List[tuple]:
+    """``wcc`` / ``bfs:source=3`` / ``mpsp:pairs=1-4;2-5`` → (name, params)."""
+    queries = []
+    for text in items:
+        name, _, rest = text.partition(":")
+        params: dict = {}
+        for part in filter(None, rest.split(",")):
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise GraphsurgeError(
+                    f"stream query parameter {part!r} must be key=value")
+            if key == "pairs":
+                params[key] = [tuple(int(v) for v in pair.split("-"))
+                               for pair in value.split(";") if pair]
+            else:
+                try:
+                    params[key] = int(value)
+                except ValueError:
+                    params[key] = value
+        queries.append((name, params))
+    return queries
+
+
+def _stream_cmd(session: Graphsurge, args: argparse.Namespace) -> int:
+    from repro.stream import (
+        StreamEngine,
+        churn_batches,
+        replay_batches,
+        sliding_batches,
+    )
+
+    queries = _parse_stream_queries(args.queries)
+    if args.stream_source == "replay" and not args.target:
+        raise GraphsurgeError("--stream-source replay requires --target")
+    if args.resume:
+        if not args.journal:
+            raise GraphsurgeError("--resume requires --journal FILE")
+        # For the replay source the journaled engine started empty; for
+        # churn it started from the target's edges — mirror that here.
+        graph = (session.resolve(args.target)
+                 if args.target and args.stream_source != "replay"
+                 else None)
+        engine = StreamEngine.resume(args.journal, graph=graph)
+        print(f"resumed stream at epoch {engine.epoch} "
+              f"from {args.journal}")
+    else:
+        seed_target = (None if args.stream_source == "replay"
+                       else args.target)
+        engine = session.stream(seed_target, queries,
+                                compact_every=args.compact_every,
+                                keep_epochs=args.keep_epochs,
+                                journal_path=args.journal)
+    if args.stream_source == "replay":
+        batches = replay_batches(session.resolve(args.target),
+                                 prop=args.ts_property,
+                                 num_batches=args.epochs,
+                                 weight=session.weight_property)
+    else:
+        batches = churn_batches(args.seed, args.epochs,
+                                num_nodes=args.nodes, churn=args.churn)
+    if args.window is not None:
+        batches = sliding_batches(batches, args.window)
+    short = {signature: query.name
+             for signature, query in engine.queries.items()}
+    try:
+        for batch in batches[engine.epoch:]:
+            payload = engine.ingest(batch)
+            parts = [f"epoch {payload['epoch']:>4}: "
+                     f"+{len(batch.appends)} -{len(batch.retracts)}"]
+            for signature in sorted(payload["results"]):
+                row = payload["results"][signature]
+                parts.append(f"{short[signature]} Δ"
+                             f"{len(row['output_delta'])} "
+                             f"work {row['work']}")
+            print("  ".join(parts))
+        summary = engine.meter.summary()
+        print(f"streamed {summary['epochs']} epoch(s): "
+              f"{summary['total_work']} work units, max epoch "
+              f"{summary['max_epoch_work']}, "
+              f"{summary['total_latency_s']:.3f}s compute")
+        if args.snapshot:
+            for signature in sorted(engine.queries):
+                output = engine.snapshot(signature)
+                print(f"{short[signature]} @ epoch {engine.epoch}:")
+                for (vertex, value), mult in sorted(
+                        output.items(),
+                        key=lambda item: canonical_order_key(item[0])):
+                    print(f"  {vertex} {value}"
+                          + (f" x{mult}" if mult != 1 else ""))
+        if args.out:
+            with open(args.out, "w", newline="") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(["epoch", "query", "batch_size",
+                                 "delta_records", "output_delta_size",
+                                 "work", "parallel_time", "latency_s"])
+                for row in engine.meter.rows():
+                    writer.writerow([
+                        row["epoch"], short.get(row["query"],
+                                                row["query"]),
+                        row["batch_size"], row["delta_records"],
+                        row["output_delta_size"], row["work"],
+                        row["parallel_time"], row["latency_s"]])
+            print(f"wrote {args.out}")
+    finally:
+        engine.close()
+    return 0
+
+
 def _fuzz(args: argparse.Namespace) -> int:
     from repro.verify import FuzzConfig, replay_repro, run_fuzz
 
@@ -574,6 +740,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _profile(session, args)
         elif args.command == "serve":
             return _serve(session, args)
+        elif args.command == "stream":
+            return _stream_cmd(session, args)
         elif args.command in (None, "gvdl"):
             pass
     except (GraphsurgeError, OSError) as error:

@@ -289,6 +289,39 @@ class Graphsurge:
                                     keep_output=True,
                                     view_name=target, budget=budget)
 
+    def stream(self, target: Optional[str], queries,
+               compact_every: int = 8, keep_epochs: int = 4,
+               journal_path=None):
+        """Open a streaming session over a loaded graph or view.
+
+        ``queries`` is a list of computation names or ``(name, params)``
+        pairs; each becomes a continuously maintained query seeded with
+        the target's current edges (``target=None`` starts from an empty
+        graph — every edge arrives via the stream). Returns a
+        :class:`repro.stream.StreamEngine` — feed it
+        :class:`repro.stream.StreamBatch` appends/retracts via
+        ``ingest`` and read per-epoch deltas or on-demand snapshots.
+        With ``journal_path`` every ingested batch is journaled so the
+        stream can be :meth:`~repro.stream.StreamEngine.resume`-d after
+        a crash.
+        """
+        from repro.stream import StreamEngine
+
+        graph = self.resolve(target) if target else None
+        engine = StreamEngine(
+            graph, workers=self.workers, backend=self.backend,
+            weight_property=self.weight_property,
+            compact_every=compact_every, keep_epochs=keep_epochs)
+        for entry in queries:
+            if isinstance(entry, str):
+                engine.register(entry)
+            else:
+                name, params = entry
+                engine.register(name, params)
+        if journal_path is not None:
+            engine.attach_journal(journal_path)
+        return engine
+
     def profile(self, computation: GraphComputation, target: str,
                 mode: ExecutionMode = ExecutionMode.ADAPTIVE,
                 batch_size: int = 10,

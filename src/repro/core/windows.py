@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.view_collection import ViewCollectionDefinition
-from repro.errors import GraphsurgeError
+from repro.errors import ConfigError, GraphsurgeError
 from repro.gvdl.ast import And, Comparison, Literal, Predicate, PropRef
 
 
@@ -40,7 +40,7 @@ def _bound_predicate(prop: str, target: str, lo: Optional[int],
         if hi is not None:
             terms.append(Comparison(ref, "<", Literal(hi)))
     if not terms:
-        raise GraphsurgeError("window needs at least one bound")
+        raise ConfigError("window needs at least one bound")
     if len(terms) == 1:
         return terms[0]
     return And(tuple(terms))
@@ -60,7 +60,7 @@ def cumulative_windows(name: str, source: str, prop: str,
         views.append((f"lt-{bound}",
                       _bound_predicate(prop, target, None, bound)))
     if not views:
-        raise GraphsurgeError("cumulative_windows needs at least one bound")
+        raise ConfigError("cumulative_windows needs at least one bound")
     return ViewCollectionDefinition(name, source, tuple(views))
 
 
@@ -74,7 +74,8 @@ def sliding_windows(name: str, source: str, prop: str, start: int,
     C_no shape); ``slide > width`` leaves gaps.
     """
     if width <= 0 or slide <= 0 or count <= 0:
-        raise GraphsurgeError("width, slide, and count must be positive")
+        raise ConfigError(
+            "sliding_windows: width, slide, and count must be positive")
     views = []
     for index in range(count):
         lo = start + index * slide
@@ -92,12 +93,14 @@ def expand_shrink_slide(name: str, source: str, prop: str,
     The paper's C_ex-sh-sl (§7.3) is the canonical instance: expand the
     window through additions, shrink it through deletions, then slide it.
     """
+    phases = list(phases)
     if not phases:
-        raise GraphsurgeError("expand_shrink_slide needs at least one phase")
+        raise ConfigError("expand_shrink_slide needs at least one phase")
     views = []
     for lo, hi in phases:
         if hi <= lo:
-            raise GraphsurgeError(f"empty window [{lo}, {hi})")
+            raise ConfigError(
+                f"expand_shrink_slide: empty window [{lo}, {hi})")
         views.append((f"{lo}-{hi}", _bound_predicate(prop, target, lo, hi)))
     return ViewCollectionDefinition(name, source, tuple(views))
 
@@ -113,6 +116,10 @@ def product_windows(name: str, source: str,
     differences and each outer phase change is a natural split point —
     the paper's C_aut shape (§7.3).
     """
+    # Materialize both axes: a generator passed as inner_bounds would be
+    # exhausted by the first outer phase, silently dropping later phases.
+    outer_phases = list(outer_phases)
+    inner_bounds = list(inner_bounds)
     views = []
     for lo, hi in outer_phases:
         outer = _bound_predicate(outer_prop, target, lo, hi)
@@ -123,5 +130,5 @@ def product_windows(name: str, source: str,
                 And((outer, inner)),
             ))
     if not views:
-        raise GraphsurgeError("product_windows produced no views")
+        raise ConfigError("product_windows produced no views")
     return ViewCollectionDefinition(name, source, tuple(views))

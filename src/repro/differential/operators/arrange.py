@@ -69,6 +69,9 @@ class ArrangeOp(Operator):
     def remote_stats(self) -> int:
         return self.trace.record_count()
 
+    def local_traces(self):
+        return (self.trace,)
+
 
 class ArrangeEnterOp(Operator):
     """Bring an arrangement's difference stream into a child scope.
@@ -209,3 +212,7 @@ class JoinArrangedOp(Operator):
 
     def remote_stats(self) -> int:
         return self.left_trace.record_count()
+
+    def local_traces(self):
+        # The arranged side is owned (and compacted) by its ArrangeOp.
+        return (self.left_trace,)

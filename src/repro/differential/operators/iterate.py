@@ -203,6 +203,9 @@ class VariableOp(Operator):
                 + self.body_trace.record_count()
                 + self.out_trace.record_count())
 
+    def local_traces(self):
+        return (self.in_trace, self.body_trace, self.out_trace)
+
     def pending_times(self) -> Iterable[Time]:
         return self.schedule.pending_times()
 

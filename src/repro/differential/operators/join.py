@@ -130,3 +130,6 @@ class JoinOp(Operator):
 
     def remote_stats(self) -> int:
         return sum(trace.record_count() for trace in self.traces)
+
+    def local_traces(self):
+        return self.traces

@@ -145,6 +145,9 @@ class ReduceOp(Operator):
     def remote_stats(self) -> int:
         return self.in_trace.record_count() + self.out_trace.record_count()
 
+    def local_traces(self):
+        return (self.in_trace, self.out_trace)
+
     def pending_times(self) -> Iterable[Time]:
         return self.schedule.pending_times()
 

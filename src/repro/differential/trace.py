@@ -261,6 +261,24 @@ class Trace:
     def keys(self) -> Iterator[Any]:
         return iter(self._keys)
 
+    def compact_below(self, epoch: int) -> None:
+        """Compact every key's history below ``epoch`` (streaming GC).
+
+        The opportunistic :meth:`maybe_compact` only touches keys an
+        operator happens to scan again; a long-running stream also needs
+        a frontier-driven sweep so keys that went quiet stop holding one
+        entry per past epoch. Keys whose entries cancel entirely are
+        dropped. Re-running at the same bound is O(keys) thanks to the
+        per-key ``_compacted_below`` guard.
+        """
+        empty = []
+        for key, trace in self._keys.items():
+            trace.compact_below(epoch)
+            if trace.is_empty():
+                empty.append(key)
+        for key in empty:
+            del self._keys[key]
+
     def maybe_compact(self, key: Any, epoch: int,
                       threshold: int = 24) -> None:
         """Compact one key's history when it has grown past ``threshold``.

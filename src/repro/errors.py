@@ -141,6 +141,20 @@ class ComputationError(GraphsurgeError):
     code = "computation"
 
 
+class StreamError(GraphsurgeError, ValueError):
+    """An edge-stream batch could not be applied to the live graph.
+
+    Raised by the streaming engine when a batch is inconsistent with the
+    accumulated edge multiset — most commonly a retraction of an edge
+    that is not present (would drive a multiplicity negative). The
+    engine's state is unchanged when this is raised: the offending batch
+    is rejected atomically, before any dataflow sees an epoch.
+    """
+
+    code = "stream"
+    http_status = 400
+
+
 class OrderingError(GraphsurgeError):
     """The collection ordering optimizer was given unusable input."""
 

@@ -40,6 +40,7 @@ from repro.observe.profile import (
     ProfileReport,
     ViewProfile,
 )
+from repro.observe.stream_metrics import EpochMetric, StreamMeter
 from repro.observe.tracer import (
     UNTRACKED,
     SpanEvent,
@@ -53,7 +54,9 @@ __all__ = [
     "UNTRACKED",
     "attached",
     "CriticalPathReport",
+    "EpochMetric",
     "PathContributor",
+    "StreamMeter",
     "ProfileReport",
     "SpanEvent",
     "StepRecord",

@@ -94,6 +94,7 @@ class ServeApp:
             ("POST", "/query"): self._query,
             ("POST", "/run"): self._run,
             ("POST", "/mutate"): self._mutate,
+            ("POST", "/stream"): self._stream,
         }
         handler = routes.get((request.method, request.path))
         try:
@@ -189,6 +190,90 @@ class ServeApp:
                         graph, add_nodes=add_nodes, add_edges=add_edges,
                         retract_edges=retract_edges))
         return Response(payload=counts)
+
+    # -- streaming ---------------------------------------------------------------
+
+    async def _stream(self, request: Request) -> Response:
+        """One endpoint, four actions: open / ingest / snapshot / close.
+
+        ``describe`` rides along as a read. Each action funnels through
+        the same drain → admission → compute-lock discipline as
+        ``/mutate``: stream epochs are state changes, and the single
+        compute lock keeps them serialized against analytics requests.
+        """
+        body = request.json()
+        action = body.get("action")
+        if action not in ("open", "ingest", "snapshot", "describe",
+                         "close"):
+            raise RequestError(
+                "'action' must be one of 'open', 'ingest', 'snapshot', "
+                "'describe', 'close'")
+        if action == "open":
+            graph = body.get("graph")
+            if graph is not None and (not isinstance(graph, str)
+                                      or not graph):
+                raise RequestError(
+                    "'graph' must name a loaded base graph")
+            queries = self._query_list(body.get("queries", ()))
+            if not queries:
+                raise RequestError(
+                    "'queries' must list at least one "
+                    "[computation, params?] pair")
+            call = lambda: self.session.stream_open(graph, queries)
+        elif action == "ingest":
+            appends = self._triple_list(body.get("appends", ()),
+                                        "appends")
+            retracts = self._triple_list(body.get("retracts", ()),
+                                         "retracts")
+            call = lambda: self.session.stream_ingest(appends, retracts)
+        elif action == "snapshot":
+            query = body.get("query")
+            if not isinstance(query, str) or not query:
+                raise RequestError(
+                    "'query' must be a registered stream signature")
+            call = lambda: self.session.stream_snapshot(query)
+        elif action == "describe":
+            call = self.session.stream_describe
+        else:
+            call = self.session.stream_close
+        if self._draining():
+            raise ShuttingDownError("server is draining; no new work")
+        async with self.admission:
+            async with self._compute_lock:
+                payload = await asyncio.get_running_loop().run_in_executor(
+                    None, call)
+        return Response(payload=payload)
+
+    @staticmethod
+    def _query_list(raw) -> List[Tuple[str, dict]]:
+        out = []
+        for item in raw:
+            if isinstance(item, str):
+                out.append((item, {}))
+                continue
+            if (not isinstance(item, (list, tuple))
+                    or len(item) not in (1, 2)
+                    or not isinstance(item[0], str)):
+                raise RequestError(
+                    f"'queries' entries must be a computation name or "
+                    f"[name, params?], got {item!r}")
+            params = item[1] if len(item) == 2 else {}
+            if not isinstance(params, dict):
+                raise RequestError("query params must be an object")
+            out.append((item[0], params))
+        return out
+
+    @staticmethod
+    def _triple_list(raw, field: str) -> List[Tuple[int, int, int]]:
+        out = []
+        for item in raw:
+            if not isinstance(item, (list, tuple)) or len(item) not in (2, 3):
+                raise RequestError(
+                    f"'{field}' entries must be [src, dst, weight?], "
+                    f"got {item!r}")
+            weight = item[2] if len(item) == 3 else 1
+            out.append((int(item[0]), int(item[1]), int(weight)))
+        return out
 
     @staticmethod
     def _node_list(raw) -> List[Tuple[int, dict]]:

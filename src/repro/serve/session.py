@@ -52,6 +52,7 @@ from repro.graph.edge_stream import EdgeStream, edge_diff_to_input
 from repro.graph.store import ViewStore
 from repro.observe.tracer import TraceSink, attached
 from repro.timely.meter import WorkSnapshot
+from repro.timely.worker import canonical_order_key
 
 #: Computation names the server accepts, with their parameter builders.
 _BUILDERS = {
@@ -115,9 +116,17 @@ def multiset_delta(current: Diff, target: Diff) -> Diff:
 
 
 def render_output(output: Diff) -> List[List[Any]]:
-    """JSON-safe, deterministically ordered ``[record, multiplicity]``."""
+    """JSON-safe, deterministically ordered ``[record, multiplicity]``.
+
+    Ordered by the canonical record order, not ``repr``: records that
+    compare equal across numeric spellings (``3`` vs ``3.0``, which
+    ``stable_hash`` canonicalizes) must render in the same position no
+    matter which spelling a run's dict representative holds.
+    """
     return [[encode_value(record), mult]
-            for record, mult in sorted(output.items(), key=repr)]
+            for record, mult in sorted(
+                output.items(),
+                key=lambda item: canonical_order_key(item[0]))]
 
 
 class ResidentDataflow:
@@ -142,6 +151,11 @@ class ResidentDataflow:
         self.capture = None
         self.epochs_fed = 0
         self.rebuilds = 0
+        #: Whether the *current build* has been stepped at least once.
+        #: The zero-delta shortcut in :meth:`advance` is gated on this,
+        #: not on the lifetime ``epochs_fed`` counter: a rebuilt dataflow
+        #: has no epoch to read output from until it has been stepped.
+        self._stepped = False
 
     def _build(self) -> None:
         dataflow = Dataflow(workers=self.workers,
@@ -152,15 +166,20 @@ class ResidentDataflow:
         self.capture = dataflow.capture(result, "results")
         self.dataflow = dataflow
         self.current = {}
+        self._stepped = False
         self.rebuilds += 1
 
     def poison(self) -> None:
-        if self.dataflow is not None:
-            # Release the resident worker processes (process backend).
-            self.dataflow.close()
-        self.dataflow = None
+        # Detach state *before* closing: close() may itself fail (e.g. a
+        # wedged worker cluster), and the resident must not keep serving
+        # off a half-closed dataflow in that case.
+        dataflow, self.dataflow = self.dataflow, None
         self.capture = None
         self.current = {}
+        self._stepped = False
+        if dataflow is not None:
+            # Release the resident worker processes (process backend).
+            dataflow.close()
 
     def advance(self, target: Diff, budget: Optional[RunBudget] = None,
                 tracer: Optional[TraceSink] = None
@@ -176,7 +195,7 @@ class ResidentDataflow:
         dataflow = self.dataflow
         delta = multiset_delta(self.current, target)
         before = dataflow.meter.snapshot()
-        if not delta and self.epochs_fed:
+        if not delta and self._stepped:
             output = self.capture.value_at_epoch(dataflow.epoch)
             return output, before.delta(dataflow.meter.snapshot())
         dataflow.set_budget(budget)
@@ -191,8 +210,66 @@ class ResidentDataflow:
                 self.dataflow.set_budget(None)
         self.current = dict(target)
         self.epochs_fed += 1
+        self._stepped = True
         output = self.capture.value_at_epoch(epoch)
         return output, before.delta(dataflow.meter.snapshot())
+
+    def advance_by(self, delta: Diff, budget: Optional[RunBudget] = None,
+                   tracer: Optional[TraceSink] = None,
+                   want_output: bool = False
+                   ) -> Tuple[Optional[Diff], Diff, WorkSnapshot]:
+        """Absorb an incremental input ``delta`` as one epoch.
+
+        The streaming path: the caller already knows the change, so no
+        multiset diffing against ``current`` happens and — unlike
+        :meth:`advance` — reading the full accumulated output is opt-in
+        (``want_output``), keeping per-epoch cost proportional to the
+        batch rather than the graph. Returns ``(output or None,
+        output_delta, work)`` where ``output_delta`` is the consolidated
+        result change this epoch emitted.
+
+        Raises :class:`~repro.errors.DataflowError` when the resident has
+        no built dataflow: an incremental delta is only meaningful
+        relative to state this build has absorbed, so after a poison the
+        caller must re-seed via :meth:`advance` with the full target.
+        """
+        from repro.differential.multiset import consolidate
+
+        from repro.errors import DataflowError
+
+        if self.dataflow is None:
+            raise DataflowError(
+                "advance_by on an unbuilt resident dataflow; re-seed with "
+                "advance(full_target) after a rebuild")
+        dataflow = self.dataflow
+        delta = consolidate(dict(delta))
+        before = dataflow.meter.snapshot()
+        if not delta and self._stepped:
+            return (self.capture.value_at_epoch(dataflow.epoch)
+                    if want_output else None,
+                    {}, before.delta(dataflow.meter.snapshot()))
+        dataflow.set_budget(budget)
+        try:
+            with attached(dataflow, tracer):
+                epoch = dataflow.step({"edges": delta})
+        except BaseException:
+            self.poison()
+            raise
+        finally:
+            if self.dataflow is not None:
+                self.dataflow.set_budget(None)
+        for record, mult in delta.items():
+            count = self.current.get(record, 0) + mult
+            if count:
+                self.current[record] = count
+            else:
+                self.current.pop(record, None)
+        self.epochs_fed += 1
+        self._stepped = True
+        output_delta = self.capture.diff_at((epoch,))
+        output = (self.capture.value_at_epoch(epoch)
+                  if want_output else None)
+        return output, output_delta, before.delta(dataflow.meter.snapshot())
 
     def record_counts(self) -> Dict[str, int]:
         """Stored trace entries per operator (resident-memory figure)."""
@@ -221,6 +298,8 @@ class ServeSession:
         #: Bumped by every mutation; tags cache entries and responses.
         self.epoch = 0
         self._residents: Dict[str, ResidentDataflow] = {}
+        #: At most one streaming session per daemon (see ``/stream``).
+        self._stream = None
         #: Ordered journal of state-changing operations (GVDL + mutations)
         #: — what the lifecycle layer checkpoints and restore replays.
         self.journal: List[dict] = []
@@ -348,6 +427,74 @@ class ServeSession:
         for resident in self._residents.values():
             resident.poison()
         self._residents.clear()
+        self.stream_close()
+
+    # -- streaming -------------------------------------------------------------
+    #
+    # The imports are deferred: repro.stream builds on ResidentDataflow
+    # from this module, so importing it at module scope would be a cycle.
+
+    def _require_stream(self):
+        if self._stream is None:
+            raise RequestError(
+                "no stream session is open; POST /stream with "
+                "action 'open' first")
+        return self._stream
+
+    def stream_open(self, graph: Optional[str],
+                    queries: List[Tuple[str, dict]]) -> dict:
+        """Open the daemon's streaming session against a base graph."""
+        from repro.stream import StreamEngine
+
+        if self._stream is not None:
+            raise RequestError(
+                "a stream session is already open; close it first")
+        base = self.gs.resolve(graph) if graph else None
+        engine = StreamEngine(
+            base, workers=self.workers, backend=self.backend,
+            weight_property=self.gs.weight_property,
+            fault_plan=self.fault_plan)
+        try:
+            signatures = [engine.register(name, params)
+                          for name, params in queries]
+        except BaseException:
+            engine.close()
+            raise
+        self._stream = engine
+        return {"queries": signatures, "stream": engine.describe()}
+
+    def stream_ingest(self, appends, retracts) -> dict:
+        """Absorb one append/retract batch as the next stream epoch."""
+        from repro.stream import StreamBatch
+
+        engine = self._require_stream()
+        return engine.ingest(
+            StreamBatch(appends=appends, retracts=retracts))
+
+    def stream_snapshot(self, signature: str) -> dict:
+        engine = self._require_stream()
+        if signature not in engine.queries:
+            # Accept a bare computation name for parameterless queries.
+            named = computation_signature(signature, {})
+            if named in engine.queries:
+                signature = named
+        output = engine.snapshot(signature)
+        return {"query": signature, "epoch": engine.epoch,
+                "output": render_output(output)}
+
+    def stream_describe(self) -> dict:
+        engine = self._require_stream()
+        return dict(engine.describe(),
+                    resident_memory=engine.resident_memory())
+
+    def stream_close(self) -> dict:
+        """Tear down the stream session (idempotent)."""
+        engine, self._stream = self._stream, None
+        epoch = 0
+        if engine is not None:
+            epoch = engine.epoch
+            engine.close()
+        return {"closed": engine is not None, "epoch": epoch}
 
     # -- introspection ---------------------------------------------------------
 
@@ -365,7 +512,10 @@ class ServeSession:
                 "rebuilds": resident.rebuilds,
                 "operators": len(counts),
             }
-        return {"total_records": total, "residents": residents}
+        payload = {"total_records": total, "residents": residents}
+        if self._stream is not None:
+            payload["stream"] = self._stream.resident_memory()
+        return payload
 
     def describe(self) -> Dict[str, Any]:
         return {

@@ -1,0 +1,345 @@
+"""The streaming engine: continuously maintained queries over a live graph.
+
+Graphsurge's batch path materializes a view collection up front and
+executes its difference sets as dataflow epochs. Streaming turns that
+inside out: the difference sets *arrive over time* as
+:class:`~repro.stream.source.StreamBatch` appends/retracts against a
+live property graph, and every registered query keeps one resident
+differential dataflow (:class:`repro.serve.session.ResidentDataflow`)
+that absorbs each batch as one epoch. Results are reported as per-epoch
+output deltas; full snapshots are computed on demand from the capture
+trace. Because each epoch's cost is driven by the batch's difference —
+not the accumulated graph — maintaining a query over a long stream does
+the same total work as the batch executor doing one collection whose
+views are the stream's prefixes.
+
+Memory stays bounded through frontier-driven trace compaction
+(:meth:`repro.differential.dataflow.Dataflow.compact`): every
+``compact_every`` epochs, history older than ``keep_epochs`` epochs
+folds into epoch-0 representatives, on both backends.
+
+Durability uses the PR 1 journal format: the engine appends each
+ingested batch to a checkpoint journal; :meth:`StreamEngine.resume`
+replays the journal batch by batch — the same epochs, the same
+deterministic meter — so a killed and resumed stream is byte-identical
+to one that never died.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Any, Dict, List, Optional
+
+from repro.core.resilience import (
+    CheckpointWriter,
+    FaultPlan,
+    load_checkpoint,
+)
+from repro.differential.multiset import Diff
+from repro.errors import CheckpointError, RequestError, StreamError
+from repro.graph.edge_stream import EdgeStream
+from repro.observe.stream_metrics import EpochMetric, StreamMeter
+from repro.serve.session import (
+    ResidentDataflow,
+    build_request_computation,
+    computation_signature,
+    render_output,
+)
+from repro.stream.source import EdgeTriple, StreamBatch
+
+
+def triples_to_input(delta: Dict[EdgeTriple, int],
+                     directed: bool = True) -> Diff:
+    """Convert an edge-triple difference to dataflow input records."""
+    diff: Diff = {}
+    for (src, dst, w), mult in delta.items():
+        rec = (src, (dst, w))
+        diff[rec] = diff.get(rec, 0) + mult
+        if not directed:
+            rev = (dst, (src, w))
+            diff[rev] = diff.get(rev, 0) + mult
+    return {rec: mult for rec, mult in diff.items() if mult}
+
+
+class ContinuousQuery:
+    """One registered algorithm kept continuously maintained."""
+
+    def __init__(self, name: str, params: Dict[str, Any],
+                 workers: int, backend: str,
+                 fault_plan: Optional[FaultPlan] = None):
+        self.name = str(name).lower()
+        self.params = dict(params or {})
+        self.signature = computation_signature(name, self.params)
+        self.computation = build_request_computation(name, self.params)
+        self.resident = ResidentDataflow(
+            self.computation, workers=workers,
+            fault_plan=fault_plan, backend=backend)
+
+
+class EpochResult:
+    """What one query produced for one ingested batch."""
+
+    def __init__(self, epoch: int, query: str, output_delta: Diff,
+                 work: int, parallel_time: int, latency_s: float):
+        self.epoch = epoch
+        self.query = query
+        self.output_delta = output_delta
+        self.work = work
+        self.parallel_time = parallel_time
+        self.latency_s = latency_s
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "query": self.query,
+            "output_delta": render_output(self.output_delta),
+            "work": self.work,
+            "parallel_time": self.parallel_time,
+            "latency_s": round(self.latency_s, 6),
+        }
+
+
+class StreamEngine:
+    """Streaming ingestion against a set of continuous queries.
+
+    ``graph`` seeds the accumulated edge multiset (epoch 0 of every
+    resident dataflow); each :meth:`ingest` absorbs one batch as the
+    next epoch across all registered queries, atomically — an invalid
+    batch (:class:`~repro.errors.StreamError`) changes nothing.
+    """
+
+    JOURNAL_KIND = "stream-session"
+
+    def __init__(self, graph=None, workers: int = 1,
+                 backend: str = "inline",
+                 weight_property: Optional[str] = None,
+                 compact_every: int = 8, keep_epochs: int = 4,
+                 fault_plan: Optional[FaultPlan] = None):
+        self.workers = workers
+        self.backend = backend
+        self.weight_property = weight_property
+        self.compact_every = int(compact_every)
+        self.keep_epochs = max(1, int(keep_epochs))
+        self.fault_plan = fault_plan
+        self.meter = StreamMeter()
+        #: Accumulated (src, dst, weight) multiset — the live edge set.
+        self.edges: Dict[EdgeTriple, int] = {}
+        self.epoch = 0
+        self.queries: Dict[str, ContinuousQuery] = {}
+        self._writer: Optional[CheckpointWriter] = None
+        self._journal_header: Optional[dict] = None
+        self._batches_journaled = 0
+        if graph is not None:
+            stream = EdgeStream.from_graph(graph, weight=weight_property)
+            for _eid, src, dst, w in stream.edges:
+                triple = (src, dst, w)
+                self.edges[triple] = self.edges.get(triple, 0) + 1
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, name: str,
+                 params: Optional[Dict[str, Any]] = None) -> str:
+        """Register a continuous query; returns its signature.
+
+        The resident dataflow is seeded immediately with the current
+        accumulated edge multiset as its epoch 0, so a query registered
+        mid-stream starts from the live graph, not from empty.
+        """
+        query = ContinuousQuery(name, params or {}, self.workers,
+                                self.backend, self.fault_plan)
+        if query.signature in self.queries:
+            raise RequestError(
+                f"query {query.signature} is already registered")
+        query.resident.advance(
+            triples_to_input(self.edges, query.computation.directed))
+        self.queries[query.signature] = query
+        return query.signature
+
+    # -- ingestion ------------------------------------------------------------
+
+    def _batch_delta(self, batch: StreamBatch) -> Dict[EdgeTriple, int]:
+        """Validate a batch against the live edge multiset atomically."""
+        delta: Dict[EdgeTriple, int] = {}
+        for triple in batch.appends:
+            delta[triple] = delta.get(triple, 0) + 1
+        for triple in batch.retracts:
+            delta[triple] = delta.get(triple, 0) - 1
+        for triple, change in delta.items():
+            if self.edges.get(triple, 0) + change < 0:
+                raise StreamError(
+                    f"batch retracts edge {triple} beyond its "
+                    f"multiplicity {self.edges.get(triple, 0)} at epoch "
+                    f"{self.epoch}")
+        return {t: m for t, m in delta.items() if m}
+
+    def ingest(self, batch: StreamBatch) -> Dict[str, Any]:
+        """Absorb one batch as the next epoch across every query."""
+        if not self.queries:
+            raise RequestError("no continuous queries registered")
+        delta = self._batch_delta(batch)
+        for triple, change in delta.items():
+            count = self.edges.get(triple, 0) + change
+            if count:
+                self.edges[triple] = count
+            else:
+                self.edges.pop(triple, None)
+        self.epoch += 1
+        results: List[EpochResult] = []
+        for signature in sorted(self.queries):
+            query = self.queries[signature]
+            results.append(self._advance_query(query, delta, batch.size))
+        if self._writer is not None:
+            self._writer.append_view(dict(
+                batch.to_record(), index=self._batches_journaled,
+                view_name=f"epoch-{self.epoch}"))
+            self._batches_journaled += 1
+        self._maybe_compact()
+        return {
+            "epoch": self.epoch,
+            "batch_size": batch.size,
+            "results": {res.query: res.to_payload() for res in results},
+        }
+
+    def _advance_query(self, query: ContinuousQuery,
+                       delta: Dict[EdgeTriple, int],
+                       batch_size: int) -> EpochResult:
+        resident = query.resident
+        directed = query.computation.directed
+        started = _time.perf_counter()
+        if resident.dataflow is None:
+            # A prior epoch poisoned this resident (fault injection,
+            # budget breach). Re-seed with the full accumulated state —
+            # the rebuild discipline advance() already implements.
+            _output, spent = resident.advance(
+                triples_to_input(self.edges, directed))
+            output_delta = resident.capture.diff_at(
+                (resident.dataflow.epoch,))
+        else:
+            _out, output_delta, spent = resident.advance_by(
+                triples_to_input(delta, directed))
+        latency = _time.perf_counter() - started
+        result = EpochResult(self.epoch, query.signature,
+                             output_delta, spent.total_work,
+                             spent.parallel_time, latency)
+        self.meter.record(EpochMetric(
+            epoch=self.epoch, query=query.signature,
+            batch_size=batch_size,
+            delta_records=sum(abs(m) for m in delta.values()),
+            output_delta_size=len(output_delta),
+            work=spent.total_work, parallel_time=spent.parallel_time,
+            latency_s=latency))
+        return result
+
+    def _maybe_compact(self) -> None:
+        if self.compact_every <= 0 or self.epoch % self.compact_every:
+            return
+        for query in self.queries.values():
+            dataflow = query.resident.dataflow
+            if dataflow is not None:
+                dataflow.compact(dataflow.epoch - self.keep_epochs)
+
+    # -- reads ----------------------------------------------------------------
+
+    def snapshot(self, signature: str) -> Diff:
+        """The full accumulated output of one query, on demand."""
+        query = self.queries.get(signature)
+        if query is None:
+            raise RequestError(
+                f"unknown stream query {signature!r}; registered: "
+                f"{sorted(self.queries)}")
+        resident = query.resident
+        if resident.dataflow is None:
+            output, _spent = resident.advance(
+                triples_to_input(self.edges, query.computation.directed))
+            return output
+        return resident.capture.value_at_epoch(resident.dataflow.epoch)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "live_edges": sum(self.edges.values()),
+            "queries": sorted(self.queries),
+            "workers": self.workers,
+            "backend": self.backend,
+            "meter": self.meter.summary(),
+        }
+
+    def resident_memory(self) -> Dict[str, Any]:
+        """Stored trace records per query (the bounded-memory figure)."""
+        out = {}
+        for signature, query in sorted(self.queries.items()):
+            counts = query.resident.record_counts()
+            capture = query.resident.capture
+            out[signature] = {
+                "records": sum(counts.values()),
+                "capture_times": (len(capture.trace)
+                                  if capture is not None else 0),
+            }
+        return out
+
+    # -- durability -----------------------------------------------------------
+
+    def attach_journal(self, path) -> None:
+        """Start journaling ingested batches to ``path`` (fresh file)."""
+        header = self._header()
+        self._writer = CheckpointWriter.fresh(path, header)
+        self._journal_header = header
+        self._batches_journaled = 0
+
+    def _header(self) -> dict:
+        return {
+            "kind": self.JOURNAL_KIND,
+            "queries": [[query.name, query.params]
+                        for _sig, query in sorted(self.queries.items())],
+            "workers": self.workers,
+            "backend": self.backend,
+            "weight_property": self.weight_property,
+            "compact_every": self.compact_every,
+            "keep_epochs": self.keep_epochs,
+        }
+
+    @classmethod
+    def resume(cls, path, graph=None,
+               backend: Optional[str] = None) -> "StreamEngine":
+        """Rebuild a streamed session from its journal, then continue it.
+
+        Registers the header's queries against ``graph`` (the same base
+        graph the original engine started from), replays every journaled
+        batch as one epoch each — deterministic, so outputs and meter
+        figures are byte-identical to the original run's — and reopens
+        the journal for appending. A torn final line (killed mid-write)
+        is dropped, exactly like run checkpoints. ``backend`` overrides
+        the journaled backend (the cross-backend equivalence the fuzzer
+        checks makes this safe).
+        """
+        state = load_checkpoint(path)
+        if state is None:
+            raise CheckpointError(f"no stream journal at {path}")
+        if state.header.get("kind") != cls.JOURNAL_KIND:
+            raise CheckpointError(
+                f"checkpoint {path} is not a stream journal "
+                f"(kind={state.header.get('kind')!r})")
+        engine = cls(
+            graph,
+            workers=int(state.header.get("workers", 1)),
+            backend=(backend if backend is not None
+                     else state.header.get("backend", "inline")),
+            weight_property=state.header.get("weight_property"),
+            compact_every=int(state.header.get("compact_every", 8)),
+            keep_epochs=int(state.header.get("keep_epochs", 4)))
+        for name, params in state.header.get("queries", ()):
+            engine.register(name, params)
+        for record in state.views:
+            engine.ingest(StreamBatch.from_record(record))
+        engine._writer = CheckpointWriter.resume(path, state)
+        engine._journal_header = state.header
+        engine._batches_journaled = len(state.views)
+        return engine
+
+    def close(self) -> None:
+        """Release every resident dataflow and the journal. Idempotent."""
+        for query in self.queries.values():
+            query.resident.poison()
+        writer, self._writer = self._writer, None
+        if writer is not None:
+            writer.close()

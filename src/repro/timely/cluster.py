@@ -43,6 +43,10 @@ Every frame is a pickled 3-tuple ``(kind, op_index, payload)``:
     ``items``. Replies ``("ok", {key: (events, result)})``.
 ``("stats", None, None)``
     Replies ``("ok", {op_index: resident_record_count})``.
+``("compact", None, epoch)``
+    Fire-and-forget: compact every registered operator's trace history
+    below ``epoch`` (streaming GC). FIFO ordering makes it safe to
+    interleave with updates; errors are buffered like update errors.
 ``("shutdown", None, None)``
     Worker exits its loop.
 
@@ -133,6 +137,14 @@ def _worker_main(index: int, conn, registry: Dict[int, Any]) -> None:
             if failure is None:
                 try:
                     registry[op_index].remote_update(payload)
+                except BaseException as exc:  # surfaced at next sync point
+                    failure = exc
+            continue
+        if kind == "compact":
+            if failure is None:
+                try:
+                    for op in registry.values():
+                        op.compact_below(payload)
                 except BaseException as exc:  # surfaced at next sync point
                     failure = exc
             continue
@@ -289,6 +301,16 @@ class ProcessCluster:
         if error is not None:
             raise error
         return merged
+
+    def compact(self, epoch: int) -> None:
+        """Broadcast a trace-compaction bound to every worker (no reply).
+
+        Workers compact the keyed traces they own below ``epoch``; any
+        failure surfaces at the next synchronous exchange, exactly like a
+        failed update.
+        """
+        for worker in range(self.workers):
+            self._send(worker, ("compact", None, epoch))
 
     def stats(self) -> Dict[int, int]:
         """Sum each registered operator's resident record count over workers."""

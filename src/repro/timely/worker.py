@@ -84,3 +84,33 @@ def shard_for(key: Any, workers: int) -> int:
     if workers <= 1:
         return 0
     return stable_hash(key) % workers
+
+
+def canonical_order_key(value: Any) -> tuple:
+    """A total-order sort key for (nested) records of mixed types.
+
+    Sorting by ``repr`` is not canonical: ``3`` and ``3.0`` compare equal
+    (and :func:`stable_hash` hashes them equal) but repr differently, and
+    int/str record components interleave by accidents of their repr text
+    (``'(10'`` sorts before ``'(9'``). This key ranks by type class first
+    and compares numbers by numeric value, so equal-comparing records of
+    different numeric spelling order identically and heterogeneous
+    records have one stable, meaningful order everywhere outputs are
+    rendered.
+    """
+    if value is None:
+        return (0,)
+    if isinstance(value, bool):
+        return (1, value)
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, str):
+        return (3, value)
+    if isinstance(value, bytes):
+        return (4, value)
+    if isinstance(value, (tuple, list)):
+        return (5, tuple(canonical_order_key(item) for item in value))
+    if isinstance(value, frozenset):
+        return (6, tuple(sorted(canonical_order_key(item)
+                                for item in value)))
+    return (7, repr(value))

@@ -29,6 +29,11 @@ Invariants:
   is a pure function of the plan: an analyzer-clean plan stays clean
   after executing it and under view-order permutation, and re-analyzing
   an executed dataflow reports the same findings as the pristine one.
+* **stream** — driving the collection's difference sets through the
+  streaming engine (:mod:`repro.stream`) one batch per epoch yields, at
+  *every* epoch, exactly the from-scratch result on the accumulated
+  edges — and the per-epoch outputs and meter rows are byte-identical
+  across the inline and process backends.
 """
 
 from __future__ import annotations
@@ -55,7 +60,7 @@ from repro.verify.oracles import (
 
 #: Invariant names understood by :func:`build_check` / the repro replayer.
 INVARIANTS = ("oracle", "workers", "backend", "permutation", "checkpoint",
-              "tracing", "analysis")
+              "tracing", "analysis", "stream")
 
 
 @dataclass
@@ -351,6 +356,84 @@ def check_analysis(collection: MaterializedCollection, spec: AlgorithmSpec,
     return None
 
 
+# -- streaming equivalence ---------------------------------------------------
+
+
+def check_stream(collection: MaterializedCollection, spec: AlgorithmSpec,
+                 params: dict,
+                 backends: Sequence[str] = ("inline", "process"),
+                 workers: int = 2) -> Optional[Mismatch]:
+    """Streamed results equal from-scratch at every epoch, per backend.
+
+    The collection's difference sets become a batch stream
+    (:func:`repro.stream.source.batches_from_collection`); after the
+    engine absorbs batch ``i``, its accumulated edges are view ``i``'s
+    full edge multiset, so the on-demand snapshot must equal the plain
+    reference on that view's edge list. Across backends the per-epoch
+    output deltas and deterministic meter figures (work, parallel time —
+    never wall-clock latency) must match byte-for-byte at the same
+    worker count.
+    """
+    from repro.stream import StreamEngine, batches_from_collection
+
+    check = {"invariant": "stream", "backends": list(backends),
+             "workers": workers}
+    batches = batches_from_collection(collection)
+    if not batches:
+        return None
+    baseline = None
+    for backend in backends:
+        engine = StreamEngine(workers=workers, backend=backend)
+        try:
+            try:
+                signature = engine.register(spec.name, params)
+            except GraphsurgeError:
+                return None  # not servable as a continuous query; vacuous
+            snapshots = []
+            for index, batch in enumerate(batches):
+                engine.ingest(batch)
+                snapshot = engine.snapshot(signature)
+                want = spec.expected(view_edge_list(collection, index),
+                                     params)
+                detail = describe_map_mismatch(output_map(snapshot), want)
+                if detail is not None:
+                    return Mismatch(
+                        "stream", spec.name,
+                        f"epoch {engine.epoch} backend={backend}: {detail}",
+                        view=collection.view_names[index], check=check)
+                snapshots.append(canonical_diff(snapshot))
+            meter_rows = [(m.epoch, m.delta_records, m.output_delta_size,
+                           m.work, m.parallel_time)
+                          for m in engine.meter.epochs]
+        except GraphsurgeError as error:
+            return Mismatch(
+                "stream", spec.name,
+                f"backend={backend}: {type(error).__name__}: {error}",
+                check=check)
+        finally:
+            engine.close()
+        if baseline is None:
+            baseline = (backend, snapshots, meter_rows)
+            continue
+        base_backend, base_snapshots, base_rows = baseline
+        if meter_rows != base_rows:
+            first = next((i for i, (got, want)
+                          in enumerate(zip(meter_rows, base_rows))
+                          if got != want), len(base_rows))
+            return Mismatch(
+                "stream", spec.name,
+                f"per-epoch meter rows diverge at epoch {first + 1} "
+                f"between backend={base_backend} and backend={backend}",
+                check=check)
+        if snapshots != base_snapshots:
+            return Mismatch(
+                "stream", spec.name,
+                f"per-epoch snapshots differ between "
+                f"backend={base_backend} and backend={backend}",
+                check=check)
+    return None
+
+
 # -- dispatch for shrink / replay --------------------------------------------
 
 
@@ -387,5 +470,10 @@ def build_check(spec: AlgorithmSpec, params: dict, check: Dict[str, Any]
         seed = int(check.get("perm_seed", 0))
         return lambda collection: check_analysis(collection, spec, params,
                                                  perm_seed=seed)
+    if invariant == "stream":
+        backends = tuple(check.get("backends", ("inline", "process")))
+        workers = int(check.get("workers", 2))
+        return lambda collection: check_stream(
+            collection, spec, params, backends=backends, workers=workers)
     raise GraphsurgeError(f"unknown invariant {invariant!r}; expected one "
                           f"of {INVARIANTS}")

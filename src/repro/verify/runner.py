@@ -30,6 +30,7 @@ from repro.verify.invariants import (
     check_checkpoint,
     check_oracle,
     check_permutation,
+    check_stream,
     check_tracing,
     check_workers,
 )
@@ -147,6 +148,8 @@ def run_fuzz(config: FuzzConfig,
                 lambda: check_tracing(case.collection, spec, params),
                 lambda: check_analysis(case.collection, spec, params,
                                        perm_seed=rng.randrange(2 ** 16)),
+                lambda: check_stream(case.collection, spec, params,
+                                     backends=config.backends),
             )
             for run_check in battery:
                 mismatch = run_check()

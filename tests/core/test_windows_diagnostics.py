@@ -10,7 +10,7 @@ from repro.core.windows import (
     sliding_windows,
 )
 from repro.datasets import citations_like
-from repro.errors import GraphsurgeError
+from repro.errors import ConfigError, GraphsurgeError
 from repro.graph.property_graph import PropertyGraph
 from repro.graph.schema import PropertyType, Schema
 
@@ -40,6 +40,14 @@ class TestCumulativeWindows:
         with pytest.raises(GraphsurgeError):
             cumulative_windows("c", "g", "year", bounds=[])
 
+    def test_empty_bounds_raise_config_error_naming_builder(self):
+        # Regression: an empty bounds iterable (easy to produce from a
+        # mis-ranged `range(...)`) must surface as a ConfigError whose
+        # message says *which* builder was misconfigured, not a generic
+        # engine error.
+        with pytest.raises(ConfigError, match="cumulative_windows"):
+            cumulative_windows("c", "g", "year", bounds=range(2020, 2010))
+
 
 class TestSlidingWindows:
     def test_tumbling_disjoint(self, year_graph):
@@ -67,6 +75,11 @@ class TestSlidingWindows:
             sliding_windows("s", "g", "year", start=0, width=0, slide=1,
                             count=1)
 
+    def test_validation_names_builder(self):
+        with pytest.raises(ConfigError, match="sliding_windows"):
+            sliding_windows("s", "g", "year", start=0, width=4, slide=4,
+                            count=0)
+
 
 class TestExpandShrinkSlide:
     def test_phases(self, year_graph):
@@ -79,6 +92,10 @@ class TestExpandShrinkSlide:
     def test_empty_window_rejected(self):
         with pytest.raises(GraphsurgeError, match="empty window"):
             expand_shrink_slide("e", "g", "year", phases=[(5, 5)])
+
+    def test_empty_phases_raise_config_error_naming_builder(self):
+        with pytest.raises(ConfigError, match="expand_shrink_slide"):
+            expand_shrink_slide("e", "g", "year", phases=[])
 
 
 class TestProductWindows:
@@ -93,6 +110,22 @@ class TestProductWindows:
         # Inner expansion within a phase: addition-only diffs.
         for index in (1, 2, 4, 5):
             assert all(m == 1 for m in collection.diffs[index].values())
+
+    def test_inner_bounds_generator_is_reused_per_phase(self):
+        # Regression: a generator passed as inner_bounds was exhausted on
+        # the first outer phase, silently dropping every later phase's
+        # views.
+        definition = product_windows(
+            "p", "citations",
+            outer_prop="year", outer_phases=[(1990, 2000), (2000, 2010)],
+            inner_prop="authors", inner_bounds=iter([5, 10, 30]))
+        assert len(definition.views) == 6
+
+    def test_empty_product_raises_config_error_naming_builder(self):
+        with pytest.raises(ConfigError, match="product_windows"):
+            product_windows("p", "citations",
+                            outer_prop="year", outer_phases=[],
+                            inner_prop="authors", inner_bounds=[5])
 
 
 class TestDiagnostics:

@@ -10,14 +10,16 @@ import copy
 
 import pytest
 
-from repro.core.resilience import load_checkpoint
+from repro.core.resilience import FaultPlan, load_checkpoint
 from repro.core.system import Graphsurge
 from repro.errors import (
     CheckpointError,
+    InjectedFault,
     RequestError,
     UnknownGraphError,
 )
 from repro.serve.session import (
+    ResidentDataflow,
     ServeSession,
     build_request_computation,
     computation_signature,
@@ -69,6 +71,123 @@ class TestMultisetDelta:
 
     def test_identical_multisets_have_empty_delta(self):
         assert multiset_delta({"a": 2}, {"a": 2}) == {}
+
+    def test_zero_multiplicity_entries_in_current_are_ignored(self):
+        # An (unconsolidated) zero entry in `current` must not emit a
+        # spurious retraction, and a zero entry missing from `target`
+        # must not emit -0.
+        current = {"a": 0, "b": 1, "c": 0}
+        target = {"a": 2, "b": 1}
+        assert multiset_delta(current, target) == {"a": 2}
+
+    def test_retract_to_empty_target(self):
+        current = {"x": 3, "y": 1}
+        assert multiset_delta(current, {}) == {"x": -3, "y": -1}
+
+    def test_equal_counts_on_both_sides_cancel(self):
+        current = {"x": 2, "y": 5, "z": 1}
+        target = {"x": 2, "y": 5, "z": 4}
+        assert multiset_delta(current, target) == {"z": 3}
+
+
+class TestRenderOutput:
+    """Regression: repr is not a canonical total order for records."""
+
+    def test_mixed_type_keys_sort_by_canonical_order(self):
+        from repro.serve.session import render_output
+
+        # repr-sorting puts ("a", 2) before (1, "b") (quote < digit) and
+        # (10, ...) before (9, ...) (string compare); the canonical order
+        # ranks numbers before strings and compares them numerically.
+        output = {(10, "j"): 1, (9, "i"): 1, (1, "b"): 1, ("a", 2): 1}
+        rendered = render_output(output)
+        assert rendered == [
+            [{"t": [1, "b"]}, 1],
+            [{"t": [9, "i"]}, 1],
+            [{"t": [10, "j"]}, 1],
+            [{"t": ["a", 2]}, 1],
+        ]
+
+    def test_equal_valued_numeric_spellings_sort_identically(self):
+        from repro.serve.session import render_output
+        from repro.timely.worker import canonical_order_key
+
+        # 3 and 3.0 compare (and stable_hash) equal, so whichever spelling
+        # a run's dict representative holds, its sort position is the same.
+        ints = render_output({(3, "a"): 1, (2, "b"): 1, (4, "c"): 1})
+        floats = render_output({(3.0, "a"): 1, (2, "b"): 1, (4, "c"): 1})
+        assert [entry[0]["t"][1] for entry in ints] == ["b", "a", "c"]
+        assert [entry[0]["t"][1] for entry in floats] == ["b", "a", "c"]
+        assert canonical_order_key((3, "a")) == canonical_order_key(
+            (3.0, "a"))
+
+
+def _wcc_input(*edges):
+    """Symmetric (src, (dst, w)) input multiset for a WCC dataflow."""
+    diff = {}
+    for src, dst in edges:
+        for rec in ((src, (dst, 1)), (dst, (src, 1))):
+            diff[rec] = diff.get(rec, 0) + 1
+    return diff
+
+
+class TestPoisonHardening:
+    """A poisoned resident must release its dataflow unconditionally."""
+
+    def test_poison_clears_state_even_when_close_raises(self):
+        resident = ResidentDataflow(build_request_computation("wcc", {}))
+        resident.advance(_wcc_input((1, 2)))
+
+        def exploding_close():
+            raise RuntimeError("close failed")
+
+        resident.dataflow.close = exploding_close
+        with pytest.raises(RuntimeError, match="close failed"):
+            resident.poison()
+        # Even though close() raised, the resident must not keep a
+        # reference to the half-closed dataflow: the next advance has to
+        # rebuild from scratch, not step a poisoned instance.
+        assert resident.dataflow is None
+        assert resident.capture is None
+        assert resident.current == {}
+        output, _ = resident.advance(_wcc_input((1, 2)))
+        assert output
+        assert resident.rebuilds == 2
+
+    def test_fresh_rebuild_steps_even_for_empty_delta(self):
+        resident = ResidentDataflow(build_request_computation("wcc", {}))
+        resident.advance(_wcc_input((1, 2)))
+        resident.poison()
+        # The zero-delta shortcut must be gated on *this build* having
+        # been stepped, not on the lifetime epochs_fed counter — else a
+        # rebuilt dataflow reads output off epoch -1 it never computed.
+        output, _ = resident.advance({})
+        assert resident.dataflow.epoch == 0
+        assert output == {}
+
+    def test_injected_fault_releases_process_workers(self):
+        import multiprocessing
+
+        before = set(multiprocessing.active_children())
+        plan = FaultPlan.single("epoch", 1)  # fire on the second step
+        resident = ResidentDataflow(
+            build_request_computation("wcc", {}), workers=2,
+            backend="process", fault_plan=plan)
+        first = _wcc_input((1, 2))
+        second = _wcc_input((1, 2), (2, 3))
+        resident.advance(first)
+        with pytest.raises(InjectedFault):
+            resident.advance(second)
+        assert resident.dataflow is None
+        # The worker children forked for the poisoned dataflow must be
+        # gone — poison() closes the cluster, it does not abandon it.
+        leaked = set(multiprocessing.active_children()) - before
+        assert not leaked
+        # The rebuilt resident absorbs the full target and answers.
+        output, _ = resident.advance(second)
+        assert output == {(1, 1): 1, (2, 1): 1, (3, 1): 1}
+        assert resident.rebuilds == 2
+        resident.poison()
 
 
 class TestResidentEconomy:

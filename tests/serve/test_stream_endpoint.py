@@ -1,0 +1,109 @@
+"""The ``/stream`` endpoint: open / ingest / snapshot / close over HTTP."""
+
+import asyncio
+
+import pytest
+
+from tests.serve.conftest import call
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def open_stream(app, queries=("wcc",), graph="Calls"):
+    return run(call(app, "POST", "/stream", {
+        "action": "open", "graph": graph, "queries": list(queries)}))
+
+
+class TestValidation:
+    def test_unknown_action_is_400(self, app):
+        response = run(call(app, "POST", "/stream", {"action": "nope"}))
+        assert response.status == 400
+        assert "'action'" in response.payload["message"]
+
+    def test_open_requires_queries(self, app):
+        response = run(call(app, "POST", "/stream",
+                            {"action": "open", "graph": "Calls"}))
+        assert response.status == 400
+        assert "queries" in response.payload["message"]
+
+    def test_bad_triple_shape_is_400(self, app):
+        open_stream(app)
+        response = run(call(app, "POST", "/stream", {
+            "action": "ingest", "appends": [[1]]}))
+        assert response.status == 400
+        assert "appends" in response.payload["message"]
+
+    def test_ingest_without_open_is_400(self, app):
+        response = run(call(app, "POST", "/stream", {
+            "action": "ingest", "appends": [[1, 2]]}))
+        assert response.status == 400
+        assert "no stream session" in response.payload["message"]
+
+    def test_double_open_is_400(self, app):
+        open_stream(app)
+        response = open_stream(app)
+        assert response.status == 400
+        assert "already open" in response.payload["message"]
+
+
+class TestLifecycle:
+    def test_open_ingest_snapshot_close(self, app):
+        response = open_stream(app, queries=["wcc", ["degrees", {}]])
+        assert response.status == 200
+        assert len(response.payload["queries"]) == 2
+        assert response.payload["stream"]["epoch"] == 0
+
+        response = run(call(app, "POST", "/stream", {
+            "action": "ingest", "appends": [[100, 101], [101, 102, 3]]}))
+        assert response.status == 200
+        assert response.payload["epoch"] == 1
+        assert response.payload["batch_size"] == 2
+        assert len(response.payload["results"]) == 2
+
+        # Snapshot accepts the bare name for a parameterless query.
+        response = run(call(app, "POST", "/stream", {
+            "action": "snapshot", "query": "wcc"}))
+        assert response.status == 200
+        vertices = {record["t"][0]
+                    for record, _mult in response.payload["output"]}
+        assert {100, 101, 102} <= vertices
+
+        response = run(call(app, "POST", "/stream",
+                            {"action": "describe"}))
+        assert response.status == 200
+        assert response.payload["epoch"] == 1
+        assert response.payload["meter"]["epochs"] == 1
+        assert "resident_memory" in response.payload
+
+        response = run(call(app, "POST", "/stream", {"action": "close"}))
+        assert response.status == 200
+        assert response.payload["closed"] is True
+        # Close is idempotent through the session teardown path.
+        response = run(call(app, "POST", "/stream", {"action": "close"}))
+        assert response.payload["closed"] is False
+
+    def test_invalid_retraction_maps_to_stream_error(self, app):
+        open_stream(app)
+        response = run(call(app, "POST", "/stream", {
+            "action": "ingest", "retracts": [[900, 901]]}))
+        assert response.status == 400
+        assert response.payload["error"] == "stream"
+        assert "beyond its multiplicity" in response.payload["message"]
+
+    def test_stream_state_shows_in_healthz(self, app):
+        open_stream(app)
+        run(call(app, "POST", "/stream", {
+            "action": "ingest", "appends": [[100, 101]]}))
+        response = run(call(app, "GET", "/healthz"))
+        assert response.status == 200
+        assert "stream" in response.payload["resident_memory"]
+
+    def test_session_close_tears_down_stream(self, app, serve_session):
+        open_stream(app)
+        serve_session.close()
+        response = run(call(app, "POST", "/stream",
+                            {"action": "describe"}))
+        assert response.status == 400
+        assert "no stream session" in response.payload["message"]

@@ -1,0 +1,250 @@
+"""The streaming engine: continuous queries, atomicity, durability."""
+
+import pytest
+
+from repro.core.resilience import FaultPlan
+from repro.core.system import Graphsurge
+from repro.errors import (
+    CheckpointError,
+    InjectedFault,
+    RequestError,
+    StreamError,
+)
+from repro.graph.property_graph import PropertyGraph
+from repro.stream import StreamBatch, StreamEngine, churn_batches
+from repro.verify.oracles import output_map, resolve_algorithms
+
+WCC = '{"computation":"wcc","params":{}}'
+
+
+def wcc_engine(**kwargs):
+    engine = StreamEngine(**kwargs)
+    engine.register("wcc")
+    return engine
+
+
+def expected_wcc(engine):
+    spec = resolve_algorithms(["wcc"])[0]
+    triples = [triple for triple, mult in sorted(engine.edges.items())
+               for _ in range(mult)]
+    return spec.expected(triples, {})
+
+
+class TestRegistration:
+    def test_duplicate_signature_rejected(self):
+        engine = wcc_engine()
+        try:
+            with pytest.raises(RequestError, match="already registered"):
+                engine.register("wcc")
+        finally:
+            engine.close()
+
+    def test_mid_stream_registration_seeds_from_live_graph(self):
+        engine = wcc_engine()
+        try:
+            engine.ingest(StreamBatch(appends=((1, 2, 1), (3, 4, 1))))
+            signature = engine.register("degrees")
+            assert output_map(engine.snapshot(signature)) == {1: 1, 3: 1}
+        finally:
+            engine.close()
+
+    def test_graph_seeds_epoch_zero(self):
+        graph = PropertyGraph()
+        for node in (1, 2, 3):
+            graph.add_node(node)
+        graph.add_edge(1, 2)
+        engine = wcc_engine(graph=graph)
+        try:
+            assert engine.edges == {(1, 2, 1): 1}
+            assert output_map(engine.snapshot(WCC)) == {1: 1, 2: 1}
+        finally:
+            engine.close()
+
+
+class TestIngestion:
+    def test_ingest_without_queries_is_request_error(self):
+        engine = StreamEngine()
+        with pytest.raises(RequestError, match="no continuous queries"):
+            engine.ingest(StreamBatch(appends=((1, 2, 1),)))
+
+    def test_per_epoch_delta_and_snapshot_track_reference(self):
+        engine = wcc_engine()
+        try:
+            for batch in churn_batches(3, 25, num_nodes=10, churn=3,
+                                       base_edges=5):
+                payload = engine.ingest(batch)
+                assert payload["epoch"] == engine.epoch
+                assert output_map(engine.snapshot(WCC)) == \
+                    expected_wcc(engine)
+        finally:
+            engine.close()
+
+    def test_invalid_batch_is_atomic(self):
+        engine = wcc_engine()
+        try:
+            engine.ingest(StreamBatch(appends=((1, 2, 1),)))
+            edges_before = dict(engine.edges)
+            rows_before = len(engine.meter.epochs)
+            with pytest.raises(StreamError, match="beyond its "
+                                                  "multiplicity"):
+                engine.ingest(StreamBatch(appends=((3, 4, 1),),
+                                          retracts=((8, 9, 1),)))
+            assert engine.edges == edges_before
+            assert engine.epoch == 1
+            assert len(engine.meter.epochs) == rows_before
+        finally:
+            engine.close()
+
+    def test_append_then_retract_within_one_batch_cancels(self):
+        engine = wcc_engine()
+        try:
+            engine.ingest(StreamBatch(appends=((1, 2, 1),),
+                                      retracts=((1, 2, 1),)))
+            assert engine.edges == {}
+            assert output_map(engine.snapshot(WCC)) == {}
+        finally:
+            engine.close()
+
+    def test_snapshot_unknown_query(self):
+        engine = wcc_engine()
+        try:
+            with pytest.raises(RequestError, match="unknown stream "
+                                                   "query"):
+                engine.snapshot("nope")
+        finally:
+            engine.close()
+
+
+class TestFaultRecovery:
+    def test_poisoned_resident_rebuilds_on_next_epoch(self):
+        engine = wcc_engine(fault_plan=FaultPlan.single("epoch", 2))
+        try:
+            engine.ingest(StreamBatch(appends=((1, 2, 1),)))
+            with pytest.raises(InjectedFault):
+                engine.ingest(StreamBatch(appends=((2, 3, 1),)))
+            resident = engine.queries[WCC].resident
+            assert resident.dataflow is None
+            # The epoch was still absorbed into the live multiset; the
+            # next ingest rebuilds from it and stays exact.
+            payload = engine.ingest(StreamBatch(appends=((4, 5, 1),)))
+            assert payload["epoch"] == 3
+            assert resident.rebuilds == 2
+            assert output_map(engine.snapshot(WCC)) == \
+                expected_wcc(engine)
+        finally:
+            engine.close()
+
+
+class TestCompaction:
+    def test_capture_times_stay_bounded(self):
+        engine = wcc_engine(compact_every=4, keep_epochs=2)
+        try:
+            for batch in churn_batches(7, 40, num_nodes=10, churn=3,
+                                       base_edges=5):
+                engine.ingest(batch)
+                capture = engine.queries[WCC].resident.capture
+                assert len(capture.trace) <= 8
+            assert output_map(engine.snapshot(WCC)) == \
+                expected_wcc(engine)
+        finally:
+            engine.close()
+
+
+class TestBackends:
+    def test_process_backend_matches_inline_per_epoch(self):
+        rows = {}
+        for backend in ("inline", "process"):
+            engine = wcc_engine(workers=2, backend=backend)
+            try:
+                observed = []
+                for batch in churn_batches(5, 8, num_nodes=8, churn=2,
+                                           base_edges=4):
+                    payload = engine.ingest(batch)
+                    row = payload["results"][WCC]
+                    observed.append((row["epoch"], row["output_delta"],
+                                     row["work"], row["parallel_time"]))
+                rows[backend] = observed
+            finally:
+                engine.close()
+        assert rows["inline"] == rows["process"]
+
+
+class TestDurability:
+    def _stream(self, engine, batches):
+        rows = []
+        for batch in batches:
+            payload = engine.ingest(batch)
+            row = payload["results"][WCC]
+            rows.append((row["epoch"], row["output_delta"], row["work"]))
+        return rows
+
+    def test_kill_and_resume_is_byte_identical(self, tmp_path):
+        journal = tmp_path / "stream.ckpt"
+        batches = churn_batches(2, 20, num_nodes=10, churn=3,
+                                base_edges=6)
+        baseline_engine = wcc_engine()
+        try:
+            baseline = self._stream(baseline_engine, batches)
+        finally:
+            baseline_engine.close()
+
+        first = wcc_engine()
+        try:
+            first.attach_journal(journal)
+            prefix = self._stream(first, batches[:9])
+        finally:
+            first.close()
+        assert prefix == baseline[:9]
+
+        resumed = StreamEngine.resume(journal)
+        try:
+            assert resumed.epoch == 9
+            replayed = [(m.epoch, None, m.work)
+                        for m in resumed.meter.epochs]
+            assert [(e, w) for e, _d, w in replayed] == \
+                [(e, w) for e, _d, w in baseline[:9]]
+            tail = self._stream(resumed, batches[9:])
+        finally:
+            resumed.close()
+        assert tail == baseline[9:]
+
+    def test_resume_rejects_non_stream_journal(self, tmp_path):
+        from repro.core.resilience import CheckpointWriter
+
+        path = tmp_path / "other.ckpt"
+        CheckpointWriter.fresh(path, {"kind": "run"}).close()
+        with pytest.raises(CheckpointError, match="not a stream "
+                                                  "journal"):
+            StreamEngine.resume(path)
+        with pytest.raises(CheckpointError, match="no stream journal"):
+            StreamEngine.resume(tmp_path / "missing.ckpt")
+
+
+class TestSystemFacade:
+    def test_graphsurge_stream_registers_and_journals(self, tmp_path):
+        graph = PropertyGraph()
+        for node in (1, 2, 3, 4):
+            graph.add_node(node)
+        graph.add_edge(1, 2)
+        gs = Graphsurge(workers=2)
+        gs.add_graph(graph, "G")
+        journal = tmp_path / "facade.ckpt"
+        engine = gs.stream("G", ["wcc", ("degrees", {})],
+                           journal_path=journal)
+        try:
+            assert engine.workers == 2
+            assert sorted(q.name for q in engine.queries.values()) == \
+                ["degrees", "wcc"]
+            engine.ingest(StreamBatch(appends=((3, 4, 1),)))
+            assert output_map(engine.snapshot(WCC)) == \
+                {1: 1, 2: 1, 3: 3, 4: 3}
+        finally:
+            engine.close()
+        assert journal.exists()
+
+    def test_stream_without_target_starts_empty(self):
+        engine = Graphsurge().stream(None, ["wcc"])
+        try:
+            assert engine.edges == {}
+        finally:
+            engine.close()

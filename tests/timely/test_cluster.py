@@ -152,6 +152,11 @@ class TestWorkerDeath:
         try:
             cluster = make_cluster(workers=2)
             try:
+                # A synchronous exchange guarantees every worker has
+                # finished its startup (including the handler reset)
+                # before the kill — otherwise a SIGTERM landing between
+                # fork and the reset still hits the inherited handler.
+                cluster.stats()
                 victim = cluster._procs[0]
                 os.kill(victim.pid, signal.SIGTERM)
                 victim.join(timeout=10.0)

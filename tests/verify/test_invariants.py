@@ -12,6 +12,7 @@ from repro.verify.invariants import (
     check_checkpoint,
     check_oracle,
     check_permutation,
+    check_stream,
     check_tracing,
     check_workers,
 )
@@ -56,6 +57,16 @@ class TestChecksPassOnHealthyEngine:
     def test_analysis(self, collection):
         assert check_analysis(collection, WCC, {}, perm_seed=5) is None
 
+    def test_stream(self, collection):
+        assert check_stream(collection, WCC, {}) is None
+
+    def test_stream_vacuous_for_unservable_spec(self, collection):
+        from repro.algorithms import ClusteringCoefficient
+
+        unservable = AlgorithmSpec("clustering", ClusteringCoefficient,
+                                   lambda edges: {})
+        assert check_stream(collection, unservable, {}) is None
+
 
 class TestChecksCatchViolations:
     def test_oracle_mismatch_reported_with_view(self, collection):
@@ -79,6 +90,15 @@ class TestChecksCatchViolations:
     def test_build_check_rejects_unknown_invariant(self):
         with pytest.raises(GraphsurgeError):
             build_check(WCC, {}, {"invariant": "gremlins"})
+
+    def test_stream_mismatch_is_rebuildable(self, collection):
+        mismatch = check_stream(collection, BROKEN, {})
+        assert mismatch is not None
+        assert mismatch.invariant == "stream"
+        assert "epoch 1" in mismatch.detail
+        rebuilt = build_check(BROKEN, {}, mismatch.check)(collection)
+        assert rebuilt is not None and rebuilt.invariant == "stream"
+        assert build_check(WCC, {}, mismatch.check)(collection) is None
 
     def test_analysis_flags_error_findings(self, collection):
         from tests.analyze.test_gating import BadLoop
