@@ -6,7 +6,7 @@ FUZZ_SEED ?= 7
 FUZZ_ITERATIONS ?= 25
 
 .PHONY: test analyze fuzz fuzz-soak bench bench-parallel serve-smoke \
-	stream-smoke
+	stream-smoke pack-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -46,6 +46,20 @@ bench-parallel:
 # shutdown with a valid session checkpoint. See docs/serving.md.
 serve-smoke:
 	$(PYTHON) -m repro.serve.smoke
+
+# Gate for the community & scoring pack (the CI pack-smoke job): the
+# hand-computed pin tests lock the tie-breaking/normalization/peeling
+# rules, then each pack member runs a 25-iteration single-algorithm
+# fuzz campaign — which executes the *full* invariant battery every
+# iteration, including the streamed-churn `stream` check, so every
+# member sees >= 25 seeded cases. See docs/algorithms.md.
+pack-smoke:
+	$(PYTHON) -m pytest -x -q tests/algorithms/test_pack_pins.py
+	for algo in labelprop ppr ktruss score; do \
+		$(PYTHON) -m repro.cli fuzz --seed $(FUZZ_SEED) \
+			--iterations $(FUZZ_ITERATIONS) \
+			--algorithms $$algo --quiet || exit 1; \
+	done
 
 # Stream a 60-epoch seeded churn source through continuously maintained
 # queries on both backends: per-epoch snapshots must equal the plain

@@ -1,0 +1,68 @@
+"""Community detection by synchronous label propagation.
+
+Every vertex starts labelled with its own id; each round, every vertex
+adopts the label held by the plurality of its (undirected, simple-graph)
+neighbours, ties broken toward the **smallest** label. The loop stops at
+a fixed point or after ``rounds`` synchronous rounds — synchronous LPA
+can oscillate with period two (a bare path does), so the round cap is
+part of the semantics, exactly like PageRank's fixed iteration count.
+
+Determinism is the whole game here: the classic asynchronous LPA breaks
+ties randomly, which would poison difference traces. The plurality rule
+``min by (-count, label)`` is a pure function of the neighbour multiset,
+so the computation is an ordinary differential program shared across
+views.
+
+Result records: ``(vertex, community_label)`` for every non-isolated
+vertex.
+"""
+
+from __future__ import annotations
+
+from repro.core.computation import GraphComputation
+from repro.errors import ConfigError
+
+
+def _plurality_label(key, vals):
+    """Most frequent neighbour label; ties break to the smallest label."""
+    best = None
+    # Only the (count, label) minimum survives; visit order is immaterial.
+    for label, count in vals.items():  # analyze: ignore[GS-U202]
+        rank = (-count, label)
+        if best is None or rank < best:
+            best = rank
+    return [best[1]]
+
+
+class LabelPropagation(GraphComputation):
+    """Synchronous plurality label propagation with min-label ties."""
+
+    name = "LPA"
+    directed = False  # the executor feeds both edge directions
+
+    def __init__(self, rounds: int = 8):
+        if rounds < 1:
+            raise ConfigError("rounds must be >= 1")
+        self.rounds = rounds
+
+    def build(self, dataflow, edges):
+        # Distinct symmetrized pairs: parallel edges must not give a
+        # neighbour's label extra votes, and self-loops never vote.
+        pairs = edges.map(lambda rec: (rec[0], rec[1][0]),
+                          name="lpa.pairs").filter(
+            lambda rec: rec[0] != rec[1], name="lpa.noself").distinct(
+            name="lpa.simple")
+        # Every endpoint appears as a source because pairs are symmetric.
+        vertices = pairs.map(lambda rec: rec[0], name="lpa.srcs").distinct(
+            name="lpa.verts")
+        labels = vertices.map(lambda v: (v, v), name="lpa.seed")
+
+        adj = pairs.arrange_by_key(name="lpa.adj")
+
+        def body(inner, scope):
+            e = adj.enter(scope)
+            incoming = inner.join_arranged(
+                e, lambda u, label, v: (v, label), name="lpa.send")
+            return incoming.reduce(_plurality_label, name="lpa.adopt")
+
+        return labels.iterate(body, max_iters=self.rounds, name="lpa.loop")

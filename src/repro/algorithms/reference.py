@@ -322,3 +322,132 @@ def reference_mpsp(edges: EdgeList,
 #: BellmanFord shares SSSP's oracle (identical semantics, separate name so
 #: the verify registry can address both uniformly).
 reference_bellman_ford = reference_sssp
+
+
+def reference_label_propagation(edges: EdgeList,
+                                rounds: int = 8) -> Dict[int, int]:
+    """Synchronous plurality label propagation, ties to smallest label.
+
+    Mirrors :class:`~repro.algorithms.label_propagation.LabelPropagation`
+    exactly: undirected simple-graph neighbours (no self-loop votes, no
+    multi-edge vote stuffing), at most ``rounds`` synchronous rounds,
+    early exit at a fixed point.
+    """
+    adjacency: Dict[int, Set[int]] = {}
+    for src, dst, _w in _as_triples(edges):
+        if src == dst:
+            continue
+        adjacency.setdefault(src, set()).add(dst)
+        adjacency.setdefault(dst, set()).add(src)
+    labels = {v: v for v in adjacency}
+    for _ in range(rounds):
+        new = {}
+        for v, neighbours in adjacency.items():
+            counts: Dict[int, int] = {}
+            for u in neighbours:
+                label = labels[u]
+                counts[label] = counts.get(label, 0) + 1
+            new[v] = min(counts, key=lambda label: (-counts[label], label))
+        if new == labels:
+            break
+        labels = new
+    return labels
+
+
+def reference_personalized_pagerank(edges: EdgeList,
+                                    seeds: Sequence[int] = (),
+                                    iterations: int = 10,
+                                    quantum: int = SCALE // 1000
+                                    ) -> Dict[int, int]:
+    """Integer PPR with the exact update rule of the dataflow version.
+
+    Seed normalization mirrors the dataflow: absent seeds are dropped and
+    restart mass splits over the seeds present in the view; with no seed
+    present every rank is zero.
+    """
+    edges = _as_triples(edges)
+    verts = sorted(_vertices(edges))
+    present = sorted({int(s) for s in seeds} & set(verts))
+    out_edges: Dict[int, List[int]] = {}
+    for src, dst, _w in edges:
+        out_edges.setdefault(src, []).append(dst)
+    base = {v: 0 for v in verts}
+    rank = {v: 0 for v in verts}
+    for v in present:
+        base[v] = BASE // len(present)
+        rank[v] = SCALE // len(present)
+    for _ in range(iterations):
+        incoming = {v: 0 for v in verts}
+        for u, targets in out_edges.items():
+            share = rank[u] // len(targets)
+            contribution = (DAMPING_NUM * share) // DAMPING_DEN
+            for v in targets:
+                incoming[v] += contribution
+        new_rank = {
+            v: ((base[v] + incoming[v] + quantum // 2) // quantum) * quantum
+            for v in verts
+        }
+        if new_rank == rank:
+            break
+        rank = new_rank
+    return rank
+
+
+def reference_ktruss(edges: EdgeList,
+                     k: int = 2) -> Dict[Tuple[int, int], int]:
+    """k-truss edges via synchronous support peeling (cascades included).
+
+    Each round recounts every surviving edge's triangle support over the
+    surviving subgraph, then drops all under-supported edges at once —
+    the same synchronous schedule as the dataflow fixed point. (The
+    k-truss is unique, so any peeling order converges to the same set;
+    the synchronous schedule is what the pin tests spell out.)
+    """
+    canonical: Set[Tuple[int, int]] = set()
+    for src, dst, _w in _as_triples(edges):
+        if src != dst:
+            canonical.add((min(src, dst), max(src, dst)))
+    alive = set(canonical)
+    need = k - 2
+    changed = True
+    while changed:
+        changed = False
+        adjacency: Dict[int, Set[int]] = {}
+        for a, b in alive:
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+        for edge in sorted(alive):
+            a, b = edge
+            support = len(adjacency[a] & adjacency[b])
+            if support < need:
+                alive.discard(edge)
+                changed = True
+    return {edge: k for edge in alive}
+
+
+def reference_composite_score(edges: EdgeList, degree_weight: int = 1,
+                              triangle_weight: int = 1, rank_weight: int = 1,
+                              iterations: int = 5
+                              ) -> Dict[int, Tuple[int, int]]:
+    """Weighted degree/triangle/centi-PageRank blend with dense ranking.
+
+    ``(vertex, (position, score))`` with position 1 the best score and
+    ties broken toward the smaller vertex id — the exact ordering rule of
+    :class:`~repro.algorithms.scoring.CompositeScore`.
+    """
+    from repro.algorithms.scoring import CENTIRANK
+
+    edges = _as_triples(edges)
+    verts = sorted(_vertices(edges))
+    degrees = reference_out_degrees(edges)
+    triangles = reference_triangles(edges)
+    ranks = reference_pagerank(edges, iterations=iterations)
+    scores = {
+        v: (degree_weight * degrees.get(v, 0)
+            + triangle_weight * triangles.get(v, 0)
+            + rank_weight * (ranks[v] // CENTIRANK))
+        for v in verts
+    }
+    ordered = sorted(verts, key=lambda v: (-scores[v], v))
+    return {v: (position, scores[v])
+            for position, v in enumerate(ordered, start=1)}

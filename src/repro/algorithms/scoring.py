@@ -1,0 +1,99 @@
+"""Composite vertex scoring: several metrics joined into one ranked output.
+
+Computes, per vertex, a weighted integer blend of three structural
+metrics — out-degree, triangle participation, and (centi-rank) PageRank —
+then ranks every vertex globally::
+
+    score(v) = degree_weight * outdeg(v)
+             + triangle_weight * triangles(v)
+             + rank_weight * (pagerank(v) // (SCALE // 100))
+
+Result records: ``(vertex, (position, score))`` where position 1 is the
+best score; ties break toward the **smaller vertex id** (positions are
+dense, 1..N). Integer weights and centi-rank quantization keep record
+equality exact so difference traces stay finite.
+
+A composition stress test: three sub-dataflows (one iterative) feed two
+left-outer joins and a single global ranking reduce, all maintained
+differentially across the view collection.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.pagerank import SCALE, PageRank
+from repro.algorithms.triangles import Triangles
+from repro.core.computation import GraphComputation
+from repro.errors import ConfigError
+
+#: PageRank enters the blend in hundredths of a unit rank, keeping the
+#: blended score in the same ballpark as small degree/triangle counts.
+CENTIRANK = SCALE // 100
+
+
+def _rank_positions(key, vals):
+    """Order (-score, vertex) ascending; emit dense 1-based positions."""
+    ordered = sorted(vals)
+    out = []
+    for position, (neg_score, vertex) in enumerate(ordered, start=1):
+        out.append((vertex, position, -neg_score))
+    return out
+
+
+class CompositeScore(GraphComputation):
+    """Globally ranked weighted blend of degree/triangle/PageRank scores."""
+
+    name = "SCORE"
+    directed = True
+
+    def __init__(self, degree_weight: int = 1, triangle_weight: int = 1,
+                 rank_weight: int = 1, iterations: int = 5):
+        for label, weight in (("degree_weight", degree_weight),
+                              ("triangle_weight", triangle_weight),
+                              ("rank_weight", rank_weight)):
+            if weight < 0:
+                raise ConfigError(f"{label} must be >= 0")
+        if iterations < 1:
+            raise ConfigError("iterations must be >= 1")
+        self.degree_weight = degree_weight
+        self.triangle_weight = triangle_weight
+        self.rank_weight = rank_weight
+        self.iterations = iterations
+
+    def build(self, dataflow, edges):
+        dw = self.degree_weight
+        tw = self.triangle_weight
+        rw = self.rank_weight
+
+        vertices = edges.flat_map(
+            lambda rec: (rec[0], rec[1][0]), name="score.endpoints"
+        ).distinct(name="score.vertices")
+        zeros = vertices.map(lambda v: (v, 0), name="score.zeros")
+
+        # Metric 1: out-degree (multiplicity-counting, like OutDegrees),
+        # left-outer zeroed so sink vertices still score.
+        degrees = edges.map(lambda rec: (rec[0], None),
+                            name="score.outedge").count_by_key(
+            name="score.outdeg")
+        deg_full = degrees.concat(zeros).sum_by_key(name="score.degfull")
+
+        # Metric 2: triangle participation, zero when triangle-free.
+        triangles = Triangles().build(dataflow, edges)
+        tri_full = triangles.concat(zeros).sum_by_key(name="score.trifull")
+
+        # Metric 3: PageRank covers every vertex by construction.
+        ranks = PageRank(iterations=self.iterations).build(dataflow, edges)
+
+        blended = deg_full.join(
+            tri_full, lambda v, deg, tri: (v, dw * deg + tw * tri),
+            name="score.degtri").join(
+            ranks,
+            lambda v, partial, rank: (v, partial + rw * (rank // CENTIRANK)),
+            name="score.blend")
+
+        # Global ranking: gather every (score, vertex) under one key and
+        # emit dense positions; re-key by vertex for the output map.
+        gathered = blended.map(lambda rec: (0, (-rec[1], rec[0])),
+                               name="score.gather")
+        positions = gathered.reduce(_rank_positions, name="score.order")
+        return positions.map(lambda rec: (rec[1][0], (rec[1][1], rec[1][2])),
+                             name="score.result")

@@ -33,8 +33,9 @@ Subcommands:
   executing.
 
 Computations: wcc, scc, bfs, bf (Bellman-Ford), pagerank, mpsp, kcore,
-triangles, degrees, maxdegree. Options like ``--source``/``--iterations``
-configure them.
+triangles, degrees, maxdegree, plus the community & scoring pack:
+labelprop, ppr, ktruss, score (see docs/algorithms.md). Options like
+``--source``/``--iterations``/``--seeds`` configure them.
 """
 
 from __future__ import annotations
@@ -48,11 +49,15 @@ from typing import List, Optional
 from repro.algorithms import (
     BellmanFord,
     Bfs,
+    CompositeScore,
     KCore,
+    KTruss,
+    LabelPropagation,
     MaxDegree,
     Mpsp,
     OutDegrees,
     PageRank,
+    PersonalizedPageRank,
     Scc,
     Triangles,
     Wcc,
@@ -88,12 +93,26 @@ def build_computation(name: str, args: argparse.Namespace) -> GraphComputation:
         return Mpsp(pairs)
     if name == "kcore":
         return KCore(args.k)
+    if name == "ktruss":
+        return KTruss(args.k)
     if name == "triangles":
         return Triangles()
     if name == "degrees":
         return OutDegrees()
     if name == "maxdegree":
         return MaxDegree()
+    if name in ("labelprop", "lpa"):
+        return LabelPropagation(rounds=args.rounds)
+    if name == "ppr":
+        if not args.seeds:
+            raise GraphsurgeError("ppr needs --seeds, e.g. --seeds 1,5")
+        seeds = [int(part) for part in args.seeds.split(",") if part]
+        return PersonalizedPageRank(seeds, iterations=args.iterations)
+    if name == "score":
+        return CompositeScore(degree_weight=args.degree_weight,
+                              triangle_weight=args.triangle_weight,
+                              rank_weight=args.rank_weight,
+                              iterations=args.iterations)
     raise GraphsurgeError(f"unknown computation {name!r}")
 
 
@@ -133,7 +152,8 @@ def build_parser() -> argparse.ArgumentParser:
     def add_computation_args(sub) -> None:
         sub.add_argument("computation",
                          help="wcc|scc|bfs|bf|pagerank|mpsp|kcore|"
-                              "triangles|degrees|maxdegree")
+                              "triangles|degrees|maxdegree|labelprop|"
+                              "ppr|ktruss|score")
         sub.add_argument("target", help="graph, view, or collection name")
         sub.add_argument("--mode", default="adaptive",
                          choices=[m.value for m in ExecutionMode],
@@ -143,11 +163,22 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--source", type=int, default=None,
                          help="source vertex for bfs/bf")
         sub.add_argument("--iterations", type=int, default=10,
-                         help="pagerank iterations (default 10)")
+                         help="pagerank/ppr/score iterations (default 10)")
         sub.add_argument("--k", type=int, default=2,
-                         help="k for kcore (default 2)")
+                         help="k for kcore (default 2); ktruss needs >= 2")
         sub.add_argument("--pairs", default=None,
                          help="mpsp pairs as src:dst,src:dst,...")
+        sub.add_argument("--seeds", default=None,
+                         help="ppr seed vertices as comma-separated ids, "
+                              "e.g. --seeds 1,5")
+        sub.add_argument("--rounds", type=int, default=8,
+                         help="labelprop synchronous rounds (default 8)")
+        sub.add_argument("--degree-weight", type=int, default=1,
+                         help="score weight on out-degree (default 1)")
+        sub.add_argument("--triangle-weight", type=int, default=1,
+                         help="score weight on triangle count (default 1)")
+        sub.add_argument("--rank-weight", type=int, default=1,
+                         help="score weight on centi-PageRank (default 1)")
 
     run = subcommands.add_parser("run", help="run a computation")
     add_computation_args(run)
@@ -279,8 +310,8 @@ def build_parser() -> argparse.ArgumentParser:
         "queries", nargs="+", metavar="QUERY",
         help="computations to maintain, as NAME or NAME:key=value,... "
              "e.g. wcc, bfs:source=3, pagerank:iterations=5, "
-             "mpsp:pairs=1-4;2-5 (ignored with --resume: the journal "
-             "header pins the queries)")
+             "mpsp:pairs=1-4;2-5, ppr:seeds=1;5 (ignored with --resume: "
+             "the journal header pins the queries)")
     stream.add_argument("--target", default=None,
                         help="loaded graph or view; seeds the stream "
                              "for the churn source, is replayed edge by "
@@ -583,7 +614,8 @@ def _serve(session: Graphsurge, args: argparse.Namespace) -> int:
 
 
 def _parse_stream_queries(items: List[str]) -> List[tuple]:
-    """``wcc`` / ``bfs:source=3`` / ``mpsp:pairs=1-4;2-5`` → (name, params)."""
+    """``wcc`` / ``bfs:source=3`` / ``mpsp:pairs=1-4;2-5`` /
+    ``ppr:seeds=1;5`` → (name, params)."""
     queries = []
     for text in items:
         name, _, rest = text.partition(":")
@@ -596,6 +628,8 @@ def _parse_stream_queries(items: List[str]) -> List[tuple]:
             if key == "pairs":
                 params[key] = [tuple(int(v) for v in pair.split("-"))
                                for pair in value.split(";") if pair]
+            elif key == "seeds":
+                params[key] = [int(v) for v in value.split(";") if v]
             else:
                 try:
                     params[key] = int(value)

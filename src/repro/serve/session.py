@@ -26,11 +26,15 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.algorithms import (
     BellmanFord,
     Bfs,
+    CompositeScore,
     KCore,
+    KTruss,
+    LabelPropagation,
     MaxDegree,
     Mpsp,
     OutDegrees,
     PageRank,
+    PersonalizedPageRank,
     Scc,
     Triangles,
     Wcc,
@@ -70,9 +74,23 @@ _BUILDERS = {
     "triangles": lambda p: Triangles(),
     "degrees": lambda p: OutDegrees(),
     "maxdegree": lambda p: MaxDegree(),
+    # Community & scoring pack (docs/algorithms.md).
+    "labelprop": lambda p: LabelPropagation(
+        rounds=int(p.get("rounds", 8))),
+    "lpa": lambda p: LabelPropagation(rounds=int(p.get("rounds", 8))),
+    "ppr": lambda p: PersonalizedPageRank(
+        [int(s) for s in p.get("seeds", ())],
+        iterations=int(p.get("iterations", 10))),
+    "ktruss": lambda p: KTruss(int(p.get("k", 3))),
+    "score": lambda p: CompositeScore(
+        degree_weight=int(p.get("degree_weight", 1)),
+        triangle_weight=int(p.get("triangle_weight", 1)),
+        rank_weight=int(p.get("rank_weight", 1)),
+        iterations=int(p.get("iterations", 5))),
 }
 
-_KNOWN_PARAMS = {"source", "iterations", "k", "pairs"}
+_KNOWN_PARAMS = {"source", "iterations", "k", "pairs", "rounds", "seeds",
+                 "degree_weight", "triangle_weight", "rank_weight"}
 
 
 def build_request_computation(name: str,

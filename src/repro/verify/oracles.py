@@ -22,11 +22,15 @@ from repro.algorithms import (
     BellmanFord,
     Bfs,
     ClusteringCoefficient,
+    CompositeScore,
     KCore,
+    KTruss,
+    LabelPropagation,
     MaxDegree,
     Mpsp,
     OutDegrees,
     PageRank,
+    PersonalizedPageRank,
     Scc,
     Triangles,
     Wcc,
@@ -35,11 +39,15 @@ from repro.algorithms.reference import (
     reference_bellman_ford,
     reference_bfs,
     reference_clustering,
+    reference_composite_score,
     reference_kcore,
+    reference_ktruss,
+    reference_label_propagation,
     reference_max_degree,
     reference_mpsp,
     reference_out_degrees,
     reference_pagerank,
+    reference_personalized_pagerank,
     reference_scc,
     reference_triangles,
     reference_wcc,
@@ -47,7 +55,7 @@ from repro.algorithms.reference import (
 )
 from repro.core.computation import GraphComputation
 from repro.core.resilience import encode_value
-from repro.errors import GraphsurgeError
+from repro.errors import ConfigError, GraphsurgeError
 
 
 def _no_params(rng: random.Random, vertices: Sequence[int]) -> dict:
@@ -78,6 +86,33 @@ def _mpsp_params(rng: random.Random, vertices: Sequence[int]) -> dict:
         src, dst = rng.sample(vertices, 2)
         pairs.add((src, dst))
     return {"pairs": sorted(pairs)}
+
+
+def _lpa_params(rng: random.Random, vertices: Sequence[int]) -> dict:
+    return {"rounds": rng.randint(3, 8)}
+
+
+def _ppr_params(rng: random.Random, vertices: Sequence[int]) -> dict:
+    if not vertices:
+        return {"seeds": [0], "iterations": rng.randint(3, 6)}
+    seeds = set(rng.sample(vertices, min(len(vertices), rng.randint(1, 3))))
+    if rng.random() < 0.25:
+        # Exercise seed normalization: a seed absent from every view.
+        seeds.add(max(vertices) + 7)
+    return {"seeds": sorted(seeds), "iterations": rng.randint(3, 6)}
+
+
+def _ktruss_params(rng: random.Random, vertices: Sequence[int]) -> dict:
+    return {"k": rng.randint(2, 4)}
+
+
+def _score_params(rng: random.Random, vertices: Sequence[int]) -> dict:
+    return {
+        "degree_weight": rng.randint(0, 3),
+        "triangle_weight": rng.randint(0, 3),
+        "rank_weight": rng.randint(0, 3),
+        "iterations": rng.randint(2, 5),
+    }
 
 
 @dataclass(frozen=True)
@@ -115,6 +150,14 @@ ALGORITHMS: Dict[str, AlgorithmSpec] = {
         AlgorithmSpec("degrees", OutDegrees, reference_out_degrees),
         AlgorithmSpec("maxdegree", MaxDegree, reference_max_degree),
         AlgorithmSpec("mpsp", Mpsp, reference_mpsp, _mpsp_params),
+        # The community & scoring pack (docs/algorithms.md).
+        AlgorithmSpec("labelprop", LabelPropagation,
+                      reference_label_propagation, _lpa_params),
+        AlgorithmSpec("ppr", PersonalizedPageRank,
+                      reference_personalized_pagerank, _ppr_params),
+        AlgorithmSpec("ktruss", KTruss, reference_ktruss, _ktruss_params),
+        AlgorithmSpec("score", CompositeScore, reference_composite_score,
+                      _score_params),
     )
 }
 
@@ -134,12 +177,12 @@ def resolve_algorithms(names: Optional[Sequence[str]] = None
     for name in names:
         spec = ALGORITHMS.get(name.lower())
         if spec is None:
-            raise GraphsurgeError(
+            raise ConfigError(
                 f"unknown fuzz algorithm {name!r}; known: "
                 f"{', '.join(algorithm_names())}")
         specs.append(spec)
     if not specs:
-        raise GraphsurgeError("no fuzz algorithms selected")
+        raise ConfigError("no fuzz algorithms selected")
     return specs
 
 

@@ -1,0 +1,194 @@
+"""Hand-computed pins for the community & scoring pack.
+
+Every expected value below was worked out by hand on a small fixed
+graph, so these tests pin the *semantics* — label-propagation
+tie-breaking, PPR seed normalization, k-truss peeling cascades, and the
+composite score's ranking order — independently of the reference
+oracles. Each case is asserted against both the dataflow program and its
+``reference_*`` oracle, so a drift in either one fails loudly.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    CompositeScore,
+    KTruss,
+    LabelPropagation,
+    PersonalizedPageRank,
+)
+from repro.algorithms.reference import (
+    reference_composite_score,
+    reference_ktruss,
+    reference_label_propagation,
+    reference_personalized_pagerank,
+)
+from repro.core.executor import AnalyticsExecutor
+from repro.errors import ConfigError
+from repro.graph.edge_stream import EdgeStream
+
+
+def stream_of(triples):
+    return EdgeStream([(i, u, v, w) for i, (u, v, w) in enumerate(triples)])
+
+
+def run(computation, triples):
+    return AnalyticsExecutor().run_on_view(
+        computation, stream_of(triples)).vertex_map()
+
+
+def pin(computation, oracle, triples, want):
+    assert run(computation, triples) == want
+    assert oracle(triples) == want
+
+
+class TestLabelPropagationPins:
+    # Triangle {0,1,2} with pendant 3 hanging off 2.
+    TRIANGLE_PENDANT = [(0, 1, 1), (1, 2, 1), (0, 2, 1), (2, 3, 1)]
+
+    def test_one_round_pins_tie_breaking(self):
+        # Round 1, by hand: 0 sees labels {1, 2} (tie -> 1); 1 sees
+        # {0, 2} -> 0; 2 sees {0, 1, 3} -> 0; 3 sees only {2} -> 2.
+        pin(LabelPropagation(rounds=1),
+            lambda t: reference_label_propagation(t, rounds=1),
+            self.TRIANGLE_PENDANT, {0: 1, 1: 0, 2: 0, 3: 2})
+
+    def test_converges_to_min_label_community(self):
+        pin(LabelPropagation(rounds=3),
+            lambda t: reference_label_propagation(t, rounds=3),
+            self.TRIANGLE_PENDANT, {0: 0, 1: 0, 2: 0, 3: 0})
+
+    def test_path_oscillates_with_period_two(self):
+        # A bare path 0-1-2 never reaches a fixed point under synchronous
+        # updates; the round cap decides which phase is reported.
+        path = [(0, 1, 1), (1, 2, 1)]
+        pin(LabelPropagation(rounds=4),
+            lambda t: reference_label_propagation(t, rounds=4),
+            path, {0: 0, 1: 1, 2: 0})
+        pin(LabelPropagation(rounds=5),
+            lambda t: reference_label_propagation(t, rounds=5),
+            path, {0: 1, 1: 0, 2: 1})
+
+    def test_parallel_edges_and_self_loops_do_not_stuff_votes(self):
+        # Star around 0 with a duplicated (3, 0) edge and a self-loop:
+        # with multigraph voting label 3 would win 2-1-1; simple-graph
+        # voting is a three-way tie broken to label 1.
+        star = [(1, 0, 1), (2, 0, 1), (3, 0, 1), (3, 0, 1), (0, 0, 1)]
+        pin(LabelPropagation(rounds=1),
+            lambda t: reference_label_propagation(t, rounds=1),
+            star, {0: 1, 1: 0, 2: 0, 3: 0})
+
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(ConfigError):
+            LabelPropagation(rounds=0)
+
+
+class TestPersonalizedPageRankPins:
+    CYCLE = [(0, 1, 1), (1, 2, 1), (2, 0, 1)]
+
+    def test_absent_seed_is_dropped_from_normalization(self):
+        # Seeds {0, 99} on the 3-cycle: 99 is absent, so ALL restart mass
+        # goes to 0 (not half). Two iterations by hand:
+        #   it 1: ranks (1000000, 0, 0) -> (150000, 850000, 0)
+        #   it 2: contributions shift around the cycle ->
+        #         (150000, 127500+500->128000, 722500+500->723000)
+        pin(PersonalizedPageRank([0, 99], iterations=2),
+            lambda t: reference_personalized_pagerank(
+                t, seeds=[0, 99], iterations=2),
+            self.CYCLE, {0: 150_000, 1: 128_000, 2: 723_000})
+
+    def test_restart_mass_splits_over_present_seeds(self):
+        # Seeds {0, 2} both present: initial rank SCALE//2 each, teleport
+        # BASE//2 each. One iteration by hand.
+        pin(PersonalizedPageRank([0, 2], iterations=1),
+            lambda t: reference_personalized_pagerank(
+                t, seeds=[0, 2], iterations=1),
+            self.CYCLE, {0: 500_000, 1: 425_000, 2: 75_000})
+
+    def test_no_present_seed_means_all_zero(self):
+        pin(PersonalizedPageRank([42], iterations=3),
+            lambda t: reference_personalized_pagerank(
+                t, seeds=[42], iterations=3),
+            self.CYCLE, {0: 0, 1: 0, 2: 0})
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            PersonalizedPageRank([])
+        with pytest.raises(ConfigError):
+            PersonalizedPageRank([1], iterations=0)
+        with pytest.raises(ConfigError):
+            PersonalizedPageRank([1], quantum=0)
+
+
+class TestKTrussPins:
+    # Two triangles (0,1,2) and (1,2,3) sharing edge (1,2), plus a
+    # pendant edge (3,4).
+    BOWTIE = [(0, 1, 1), (0, 2, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1),
+              (3, 4, 1)]
+
+    def test_three_truss_keeps_triangle_edges_only(self):
+        pin(KTruss(3), lambda t: reference_ktruss(t, k=3), self.BOWTIE,
+            {(0, 1): 3, (0, 2): 3, (1, 2): 3, (1, 3): 3, (2, 3): 3})
+
+    def test_peeling_cascades(self):
+        # For k=4 every edge needs support 2. Only the shared edge (1,2)
+        # starts with support 2 — but once its four neighbours peel away
+        # it has nothing left, so the cascade empties the graph. A
+        # non-cascading "count once, filter once" pass would wrongly
+        # keep (1,2).
+        pin(KTruss(4), lambda t: reference_ktruss(t, k=4), self.BOWTIE, {})
+
+    def test_k4_survives_four_truss(self):
+        # K4 on {0..3} plus a dangling triangle (3,4,5): the K4's six
+        # edges all have support 2 within the K4; the triangle's edges
+        # peel (support 1) without dragging the K4 down.
+        k4_plus = [(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1),
+                   (2, 3, 1), (3, 4, 1), (3, 5, 1), (4, 5, 1)]
+        pin(KTruss(4), lambda t: reference_ktruss(t, k=4), k4_plus,
+            {(0, 1): 4, (0, 2): 4, (0, 3): 4, (1, 2): 4, (1, 3): 4,
+             (2, 3): 4})
+
+    def test_two_truss_is_the_simple_graph(self):
+        # k=2 needs support 0: every canonical simple edge survives,
+        # including triangle-free ones (the left-outer zero path).
+        pin(KTruss(2), lambda t: reference_ktruss(t, k=2),
+            [(1, 0, 1), (0, 1, 1), (2, 2, 1), (2, 3, 1)],
+            {(0, 1): 2, (2, 3): 2})
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigError):
+            KTruss(1)
+
+
+class TestCompositeScorePins:
+    def test_ranking_breaks_ties_toward_smaller_vertex(self):
+        # rank_weight=0 keeps the arithmetic fully by-hand: triangle
+        # {0,1,2} with tail (2,3). Scores: 0 -> 2 out-edges + 1 triangle
+        # = 3; 1 and 2 -> 2 each (tie; 1 must rank ahead); 3 -> 0.
+        triples = [(0, 1, 1), (0, 2, 1), (1, 2, 1), (2, 3, 1)]
+        pin(CompositeScore(degree_weight=1, triangle_weight=1,
+                           rank_weight=0, iterations=3),
+            lambda t: reference_composite_score(
+                t, degree_weight=1, triangle_weight=1, rank_weight=0,
+                iterations=3),
+            triples, {0: (1, 3), 1: (2, 2), 2: (3, 2), 3: (4, 0)})
+
+    def test_blend_includes_centirank(self):
+        # Single edge 0 -> 1; PageRank converges to (150000, 278000),
+        # i.e. centi-ranks (15, 27). With weights (2, 1, 1):
+        # score(0) = 2*1 + 0 + 15 = 17, score(1) = 0 + 0 + 27 = 27.
+        pin(CompositeScore(degree_weight=2, triangle_weight=1,
+                           rank_weight=1, iterations=5),
+            lambda t: reference_composite_score(
+                t, degree_weight=2, triangle_weight=1, rank_weight=1,
+                iterations=5),
+            [(0, 1, 1)], {1: (1, 27), 0: (2, 17)})
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            CompositeScore(degree_weight=-1)
+        with pytest.raises(ConfigError):
+            CompositeScore(triangle_weight=-2)
+        with pytest.raises(ConfigError):
+            CompositeScore(rank_weight=-1)
+        with pytest.raises(ConfigError):
+            CompositeScore(iterations=0)

@@ -1,0 +1,72 @@
+"""Cross-process determinism of ranking-style algorithm outputs.
+
+``pagerank``, ``clustering``, and the composite ``score`` program all
+produce outputs whose correctness includes an *ordering* contract
+(quantized rank values, (triangles, pairs) rationals, dense tie-broken
+positions). If any of their dataflows iterated a salted ``dict``/``set``
+in an order-sensitive way, two interpreters with different
+``PYTHONHASHSEED`` values would disagree — a corruption the in-process
+suite can never see. Mirroring the ``stable_hash`` determinism test,
+these tests compute a canonical output signature over a fixed churned
+collection in subprocesses launched with *different* hash seeds and
+require byte equality.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.core.executor import AnalyticsExecutor, ExecutionMode
+from repro.verify.generator import random_churn_collection
+from repro.verify.oracles import ALGORITHMS, canonical_diff
+
+#: (registry name, params) for every ranking-style output under test.
+CASES = [
+    ("pagerank", {"iterations": 4}),
+    ("clustering", {}),
+    ("score", {"degree_weight": 1, "triangle_weight": 1,
+               "rank_weight": 2, "iterations": 3}),
+]
+
+
+def _ranking_signature():
+    """Canonical per-view output renderings for every case."""
+    collection = random_churn_collection(seed=5, num_views=3, num_nodes=10,
+                                         churn=6)
+    signature = []
+    for name, params in CASES:
+        spec = ALGORITHMS[name]
+        result = AnalyticsExecutor(workers=2).run_on_collection(
+            spec.computation(params), collection,
+            mode=ExecutionMode.DIFF_ONLY, keep_outputs=True)
+        signature.append(
+            [name, [canonical_diff(view.output) for view in result.views]])
+    return signature
+
+
+def _subprocess_signature(hash_seed: str):
+    """Compute the ranking signature in a fresh interpreter."""
+    code = (
+        "import sys, json\n"
+        "sys.path.insert(0, sys.argv[1])\n"
+        "from tests.algorithms.test_ranking_hashseed import "
+        "_ranking_signature\n"
+        "json.dump(_ranking_signature(), sys.stdout)\n"
+    )
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = os.path.join(root, "src")
+    result = subprocess.run(
+        [sys.executable, "-c", code, root],
+        capture_output=True, text=True, env=env, check=True, timeout=120)
+    return json.loads(result.stdout)
+
+
+def test_rankings_identical_across_hash_seeds():
+    """Two interpreters with different PYTHONHASHSEED agree exactly."""
+    local = [list(entry) for entry in _ranking_signature()]
+    assert _subprocess_signature("0") == local
+    assert _subprocess_signature("12345") == local

@@ -1,0 +1,110 @@
+"""The community & scoring pack over the serve daemon's surfaces:
+``/run`` requests, parameter validation, and ``/stream`` continuous
+maintenance."""
+
+import asyncio
+
+from repro.algorithms.reference import (
+    reference_composite_score,
+    reference_ktruss,
+    reference_label_propagation,
+    reference_personalized_pagerank,
+)
+from repro.core.resilience import decode_value
+from repro.graph.edge_stream import EdgeStream
+from repro.serve.session import build_request_computation
+from tests.serve.conftest import call
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def graph_triples(session):
+    graph = session.gs.resolve("Calls")
+    return [(src, dst, w) for _eid, src, dst, w
+            in EdgeStream.from_graph(graph)]
+
+
+def run_output_map(response):
+    assert response.status == 200
+    (view,) = response.payload["views"]
+    output = {}
+    for record, mult in view["output"]:
+        assert mult == 1
+        key, value = decode_value(record)
+        output[key] = value
+    return output
+
+
+PACK_REQUESTS = [
+    ("labelprop", {"rounds": 4},
+     lambda t: reference_label_propagation(t, rounds=4)),
+    ("ppr", {"seeds": [1, 3], "iterations": 4},
+     lambda t: reference_personalized_pagerank(t, seeds=[1, 3],
+                                               iterations=4)),
+    ("ktruss", {"k": 3}, lambda t: reference_ktruss(t, k=3)),
+    ("score", {"degree_weight": 1, "triangle_weight": 2, "rank_weight": 1,
+               "iterations": 3},
+     lambda t: reference_composite_score(
+         t, degree_weight=1, triangle_weight=2, rank_weight=1,
+         iterations=3)),
+]
+
+
+class TestRunEndpoint:
+    def test_pack_results_match_references(self, app, serve_session):
+        triples = graph_triples(serve_session)
+        for name, params, reference in PACK_REQUESTS:
+            response = run(call(app, "POST", "/run", {
+                "computation": name, "target": "Calls", "params": params}))
+            assert run_output_map(response) == reference(triples), name
+
+    def test_lpa_alias_matches_labelprop(self, app):
+        body = {"target": "Calls", "params": {"rounds": 3}}
+        direct = run(call(app, "POST", "/run",
+                          dict(body, computation="labelprop")))
+        alias = run(call(app, "POST", "/run", dict(body, computation="lpa")))
+        assert run_output_map(alias) == run_output_map(direct)
+
+    def test_ppr_without_seeds_is_rejected(self, app):
+        response = run(call(app, "POST", "/run", {
+            "computation": "ppr", "target": "Calls"}))
+        assert response.status == 400
+        assert response.payload["error"] == "invalid-config"
+        assert "seeds" in response.payload["message"]
+
+    def test_unknown_pack_parameter_is_rejected(self, app):
+        response = run(call(app, "POST", "/run", {
+            "computation": "score", "target": "Calls",
+            "params": {"quantum": 5}}))
+        assert response.status == 400
+        assert "quantum" in response.payload["message"]
+
+    def test_builder_accepts_every_pack_param(self):
+        for name, params, _reference in PACK_REQUESTS:
+            computation = build_request_computation(name, params)
+            assert computation.name
+
+
+class TestStreamEndpoint:
+    def test_pack_queries_stream_and_snapshot(self, app):
+        response = run(call(app, "POST", "/stream", {
+            "action": "open", "graph": "Calls",
+            "queries": [["labelprop", {"rounds": 4}],
+                        ["ppr", {"seeds": [1, 3], "iterations": 4}],
+                        ["ktruss", {"k": 3}]]}))
+        assert response.status == 200
+        signatures = response.payload["queries"]
+        assert len(signatures) == 3
+
+        response = run(call(app, "POST", "/stream", {
+            "action": "ingest", "appends": [[100, 101], [101, 102, 2]]}))
+        assert response.status == 200
+        assert set(response.payload["results"]) == set(signatures)
+
+        for signature in signatures:
+            response = run(call(app, "POST", "/stream", {
+                "action": "snapshot", "query": signature}))
+            assert response.status == 200
+            assert response.payload["epoch"] == 1

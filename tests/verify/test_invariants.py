@@ -16,9 +16,11 @@ from repro.verify.invariants import (
     check_tracing,
     check_workers,
 )
+from repro.errors import ConfigError
 from repro.verify.oracles import (
     ALGORITHMS,
     AlgorithmSpec,
+    algorithm_names,
     output_map,
     resolve_algorithms,
 )
@@ -139,3 +141,23 @@ class TestResolveAlgorithms:
     def test_unknown_name_rejected(self):
         with pytest.raises(GraphsurgeError):
             resolve_algorithms(["wcc", "nope"])
+
+    def test_unknown_name_is_config_error_listing_registry(self):
+        # Pins the exact error shape: a ConfigError (so CLI/serve config
+        # handling applies) whose message names the offender and lists
+        # every registered algorithm.
+        with pytest.raises(ConfigError) as excinfo:
+            resolve_algorithms(["nope"])
+        message = str(excinfo.value)
+        assert message == ("unknown fuzz algorithm 'nope'; known: "
+                           + ", ".join(algorithm_names()))
+        for name in ALGORITHMS:
+            assert name in message
+
+    def test_empty_selection_is_config_error(self):
+        with pytest.raises(ConfigError):
+            resolve_algorithms("  ,  ")
+
+    def test_pack_is_registered(self):
+        for name in ("labelprop", "ppr", "ktruss", "score"):
+            assert name in ALGORITHMS
