@@ -6,16 +6,19 @@ FUZZ_SEED ?= 7
 FUZZ_ITERATIONS ?= 25
 
 .PHONY: test analyze fuzz fuzz-soak bench bench-parallel serve-smoke \
-	stream-smoke pack-smoke
+	stream-smoke pack-smoke sanitize-smoke lint-src
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 # Static plan analysis + UDF linting over every built-in algorithm plus
-# fuzzer-generated plans; exits non-zero on any ERROR finding.
+# fuzzer-generated plans, including the shard-safety (concurrency) pass;
+# --strict-warnings makes WARNING findings fail the gate too. (The
+# stream pass is exercised by the corpus tests instead: scc's nested
+# fixed point legitimately warns under GS-M404.)
 analyze:
 	$(PYTHON) -m repro.cli analyze --seed $(FUZZ_SEED) --generated 25 \
-		--json analysis-report.json
+		--concurrency --strict-warnings --json analysis-report.json
 
 # The CI fuzz-smoke configuration: fixed seed, deterministic campaign.
 fuzz:
@@ -60,6 +63,19 @@ pack-smoke:
 			--iterations $(FUZZ_ITERATIONS) \
 			--algorithms $$algo --quiet || exit 1; \
 	done
+
+# Shadow-sanitizer gate (the CI sanitize-smoke job): a clean
+# iterate-heavy WCC run under sanitize=True must stay silent with
+# byte-identical counters, and a planted inline/process divergence must
+# be caught at the offending reduce's exact plan address on the first
+# epoch. Driver: src/repro/verify/sanitize_smoke.py. See docs/parallel.md.
+sanitize-smoke:
+	$(PYTHON) -m repro.verify.sanitize_smoke
+
+# Source lint (the CI lint-src job); requires ruff on PATH. Config lives
+# in pyproject.toml [tool.ruff].
+lint-src:
+	ruff check src tests
 
 # Stream a 60-epoch seeded churn source through continuously maintained
 # queries on both backends: per-epoch snapshots must equal the plain

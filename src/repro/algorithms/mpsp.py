@@ -42,7 +42,7 @@ class Mpsp(GraphComputation):
 
     def build(self, dataflow, edges):
         sources = sorted({src for src, _dst in self.pairs})
-        wanted = set(self.pairs)
+        wanted = frozenset(self.pairs)
         # Roots exist only while their source vertex appears in the view.
         source_set = frozenset(sources)
         roots = edges.flat_map(

@@ -240,7 +240,7 @@ def lint_callable(func, role: str) -> Tuple[List[_RawFinding], List[str],
 
 
 def _lint_node(node: ast.AST, role: str) -> Iterable[_RawFinding]:
-    yield from _check_nondet_calls(node)
+    yield from _check_nondet_calls(node, role)
     yield from _check_unordered_iteration(node)
     yield from _check_mutable_defaults(node)
     if role != "inspect":
@@ -265,13 +265,19 @@ def _dotted_root(expr: ast.AST) -> Optional[Tuple[str, str]]:
     return None, attr  # type: ignore[return-value]
 
 
-def _check_nondet_calls(node: ast.AST) -> Iterable[_RawFinding]:
+def _check_nondet_calls(node: ast.AST,
+                        role: str = "") -> Iterable[_RawFinding]:
     for sub in ast.walk(node):
         if not isinstance(sub, ast.Call):
             continue
         func = sub.func
         if isinstance(func, ast.Name):
             if func.id in _NONDET_NAMES:
+                if role == "inspect":
+                    # Inspect taps never emit records, so an id() there
+                    # (debug labels, object-identity logging) cannot
+                    # corrupt difference traces.
+                    continue
                 yield _RawFinding(
                     "GS-U201", sub.lineno,
                     f"call to {func.id}() — object identity differs "
@@ -497,10 +503,13 @@ def check_udfs(dataflow, path_of) -> Tuple[List[Finding], int, int, int]:
     suppressed)."""
     findings: List[Finding] = []
     scanned = skipped = suppressed = 0
-    cache: Dict[int, Tuple[List[_RawFinding], List[str], bool]] = {}
+    # Keyed by (code identity, role): linting is role-dependent (inspect
+    # taps are exempt from the mutation and id() rules).
+    cache: Dict[Tuple[int, str],
+                Tuple[List[_RawFinding], List[str], bool]] = {}
     for op, role, func in udf_sites(dataflow):
         code = getattr(func, "__code__", None)
-        key = id(code) if code is not None else id(func)
+        key = (id(code) if code is not None else id(func), role)
         if key in cache:
             raw, lines, was_skipped = cache[key]
         else:

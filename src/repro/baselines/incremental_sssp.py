@@ -20,7 +20,7 @@ outgoing edge.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, Set, Tuple
 
 WeightedEdge = Tuple[int, int, int]  # (src, dst, weight)
 

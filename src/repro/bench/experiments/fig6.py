@@ -18,7 +18,6 @@ from repro.bench.harness import (
     to_rows,
 )
 from repro.bench.workloads import CSIM_WINDOWS, csim_collection, default_so_graph
-from repro.core.executor import ExecutionMode
 
 ALGORITHMS: Tuple[Tuple[str, Callable], ...] = (
     ("WCC", Wcc),

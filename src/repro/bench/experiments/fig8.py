@@ -10,7 +10,7 @@ erase the gap (except MPSP, where it widens).
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Tuple
 
 from repro.algorithms import Bfs, Mpsp, Wcc
 from repro.bench.harness import (

@@ -10,7 +10,7 @@ substitution notes).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.view_collection import (
     MaterializedCollection,

@@ -29,8 +29,12 @@ Subcommands:
 * ``analyze`` — static plan analysis + UDF determinism linting over the
   built-in algorithms (and ``--generated N`` fuzzer-derived plans)
   without executing anything; exits 1 on any ERROR finding (see
-  docs/analysis.md). ``run --strict`` applies the same check before
-  executing.
+  docs/analysis.md). ``--concurrency`` adds the shard-safety pass
+  (GS-S3xx), ``--stream`` the stream-maintainability pass (GS-M4xx),
+  ``--strict-warnings`` also fails on WARNING findings. ``run --strict``
+  applies the same check before executing; ``run --sanitize`` (process
+  backend) shadow-executes every epoch inline and fails at the first
+  divergence.
 
 Computations: wcc, scc, bfs, bf (Bellman-Ford), pagerank, mpsp, kcore,
 triangles, degrees, maxdegree, plus the community & scoring pack:
@@ -211,7 +215,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--strict", action="store_true",
                      help="statically analyze the plan at build time and "
                           "refuse to run on any ERROR finding (see "
-                          "docs/analysis.md)")
+                          "docs/analysis.md); on --backend process this "
+                          "includes the shard-safety pass")
+    run.add_argument("--sanitize", action="store_true",
+                     help="shadow-execute every epoch on an inline twin "
+                          "and fail at the first divergent (operator, "
+                          "timestamp, shard); requires --backend process "
+                          "(see docs/parallel.md)")
 
     profile = subcommands.add_parser(
         "profile", help="run a computation traced; print the per-view "
@@ -249,6 +259,18 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--quiet", action="store_true",
                          help="print only per-plan verdict lines and the "
                               "summary")
+    analyze.add_argument("--concurrency", action="store_true",
+                         help="also run the shard-safety pass (GS-S3xx: "
+                              "process-backend hazards — unpicklable "
+                              "captures, cross-process state, unstable "
+                              "hash keys)")
+    analyze.add_argument("--stream", action="store_true",
+                         help="also run the stream-maintainability pass "
+                              "(GS-M4xx: retraction and compaction "
+                              "hazards for continuous queries)")
+    analyze.add_argument("--strict-warnings", action="store_true",
+                         help="exit non-zero on WARNING findings too, "
+                              "not just ERROR")
 
     serve = subcommands.add_parser(
         "serve", help="run the always-on analytics daemon: resident "
@@ -473,7 +495,7 @@ def _run(session: Graphsurge, args: argparse.Namespace) -> None:
         batch_size=args.batch_size, keep_outputs=bool(args.out),
         checkpoint_path=checkpoint_path, resume_from=resume_from,
         budget=budget, retry_policy=retry_policy, tracer=tracer,
-        strict=args.strict)
+        strict=args.strict, sanitize=args.sanitize)
     if isinstance(result, CollectionRunResult):
         resumed = (f", resumed at view {result.resumed_views}"
                    if result.resumed_views else "")
@@ -551,7 +573,9 @@ def _analyze(args: argparse.Namespace) -> int:
     reports = {}
     errors = warnings = 0
     for label, computation in plans:
-        report = analyze_computation(computation, workers=args.workers)
+        report = analyze_computation(computation, workers=args.workers,
+                                     concurrency=args.concurrency,
+                                     stream=args.stream)
         reports[label] = report
         errors += len(report.errors())
         warnings += len(report.warnings())
@@ -575,7 +599,9 @@ def _analyze(args: argparse.Namespace) -> int:
         Path(args.json).write_text(json.dumps(payload, indent=1,
                                               sort_keys=True))
         print(f"wrote {args.json}")
-    return 1 if errors else 0
+    if errors:
+        return 1
+    return 1 if args.strict_warnings and warnings else 0
 
 
 def _serve(session: Graphsurge, args: argparse.Namespace) -> int:

@@ -9,7 +9,7 @@ filtered again — views over views.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Tuple
 
 from repro.errors import GvdlTypeError, UnknownPropertyError
 from repro.graph.property_graph import PropertyGraph

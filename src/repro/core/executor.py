@@ -168,7 +168,9 @@ class AnalyticsExecutor:
     def __init__(self, workers: int = 1,
                  tracer: Optional[TraceSink] = None,
                  strict: bool = False,
-                 backend: str = "inline"):
+                 backend: str = "inline",
+                 sanitize: bool = False):
+        from repro.errors import ConfigError
         from repro.timely.cluster import validate_backend
 
         self.workers = workers
@@ -181,8 +183,21 @@ class AnalyticsExecutor:
         self.tracer = tracer
         #: Strict mode statically analyzes every plan at build time and
         #: refuses (``AnalysisError``) to run one with ERROR findings —
-        #: before the epoch driver touches a single view.
+        #: before the epoch driver touches a single view. On
+        #: ``backend="process"`` the analysis includes the shard-safety
+        #: pass (``GS-S3xx``), so e.g. a kernel that fails the pickle
+        #: probe is refused before any epoch executes.
         self.strict = strict
+        if sanitize and backend != "process":
+            raise ConfigError(
+                "sanitize=True shadow-executes the process backend "
+                "against an inline twin; it requires backend='process' "
+                "(an inline run has nothing to diverge from)")
+        #: Sanitize mode shadow-executes every epoch on an inline twin of
+        #: the plan and raises :class:`~repro.errors.SanitizerError` at
+        #: the first divergent (operator, timestamp, shard) address. See
+        #: :mod:`repro.verify.sanitize`.
+        self.sanitize = sanitize
         self._strict_cleared: set = set()
 
     # -- single views -----------------------------------------------------------
@@ -620,10 +635,15 @@ class AnalyticsExecutor:
             from repro.analyze import analyze
             from repro.errors import AnalysisError
 
-            report = analyze(dataflow)
+            report = analyze(dataflow,
+                             concurrency=(self.backend == "process"))
             if not report.ok:
                 raise AnalysisError(report)
             # Retries and scratch views rebuild the same plan; one clean
             # analysis per computation object is enough.
             self._strict_cleared.add(id(computation))
+        if self.sanitize:
+            from repro.verify.sanitize import attach_shadow
+
+            attach_shadow(dataflow, computation)
         return dataflow, capture

@@ -17,7 +17,7 @@ views (see §5), i.e. it *splits* the collection at that view.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.core.splitting.model import LinearCostModel

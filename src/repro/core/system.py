@@ -183,19 +183,25 @@ class Graphsurge:
             collection, checkpoint_path=checkpoint_path,
             run_result=run_result, analysis=analysis).render()
 
-    def analyze(self, computation: GraphComputation, ignore=()):
+    def analyze(self, computation: GraphComputation, ignore=(),
+                concurrency: bool = False, stream: bool = False):
         """Statically analyze the plan a computation would run with.
 
         Builds the computation's dataflow exactly as a run would (without
         feeding any view) and returns the
         :class:`repro.analyze.AnalysisReport` of the plan analyzer and
-        UDF linter. Pass the report to :meth:`explain` to render it
+        UDF linter. ``concurrency=True`` adds the shard-safety pass
+        (``GS-S3xx``: process-backend hazards, pickle probe);
+        ``stream=True`` adds the stream-maintainability pass
+        (``GS-M4xx``: retraction and compaction hazards for continuous
+        queries). Pass the report to :meth:`explain` to render it
         alongside the collection summary.
         """
         from repro.analyze import analyze_computation
 
         return analyze_computation(computation, workers=self.workers,
-                                   ignore=ignore)
+                                   ignore=ignore, concurrency=concurrency,
+                                   stream=stream)
 
     # -- persistence ---------------------------------------------------------------
 
@@ -256,7 +262,8 @@ class Graphsurge:
                       budget=None,
                       retry_policy=None,
                       tracer=None,
-                      strict: bool = False
+                      strict: bool = False,
+                      sanitize: bool = False
                       ) -> Union[ViewRunResult, CollectionRunResult]:
         """Run a computation on a view, base graph, or view collection.
 
@@ -268,13 +275,20 @@ class Graphsurge:
         result, and the sink holds the exportable span stream. Tracing
         never changes the metered cost counters. With ``strict=True`` the
         plan is statically analyzed at build time and the run refuses
-        (:class:`repro.errors.AnalysisError`) on any ERROR finding.
+        (:class:`repro.errors.AnalysisError`) on any ERROR finding; on
+        the process backend the analysis includes the shard-safety pass.
+        With ``sanitize=True`` (process backend only) every epoch is
+        shadow-executed inline and the run fails
+        (:class:`repro.errors.SanitizerError`) at the first divergent
+        ``(operator, timestamp, shard)``; a clean sanitized run's
+        counters are byte-identical to an unsanitized one.
         """
         executor = self.executor
-        if tracer is not None or strict:
+        if tracer is not None or strict or sanitize:
             executor = AnalyticsExecutor(workers=self.workers,
                                          tracer=tracer, strict=strict,
-                                         backend=self.backend)
+                                         backend=self.backend,
+                                         sanitize=sanitize)
         if self.views.has_collection(target):
             collection: MaterializedCollection = \
                 self.views.get_collection(target)

@@ -17,7 +17,7 @@ from typing import List, Sequence, Tuple
 from repro.datasets.synthetic import zipf_sizes
 from repro.graph.property_graph import PropertyGraph
 from repro.graph.schema import PropertyType, Schema
-from repro.gvdl.ast import And, BoolLiteral, Comparison, Literal, Not, Or, Predicate, PropRef
+from repro.gvdl.ast import BoolLiteral, Comparison, Literal, Not, Or, Predicate, PropRef
 
 
 def community_graph(num_nodes: int = 300, num_communities: int = 10,

@@ -98,6 +98,11 @@ class Dataflow:
         #: fires at the top of every :meth:`step`).
         self.fault_plan = fault_plan
         self._budget_charged = 0
+        #: Optional :class:`repro.verify.sanitize.ShadowSanitizer`. When
+        #: set (``sanitize=True`` runs), every completed :meth:`step` is
+        #: replayed on an inline shadow dataflow and the per-superstep
+        #: trace frames are diffed; ``None`` costs one ``is None`` test.
+        self.sanitizer = None
         self.root = Scope(self, None)
         self._ops_by_scope: Dict[Scope, List[Operator]] = {self.root: []}
         self._op_count = 0
@@ -216,6 +221,8 @@ class Dataflow:
             self.meter.end_step()
             self.enforce_budget(f"epoch {self.epoch}")
             if not self._has_pending(subtree, time):
+                if self.sanitizer is not None:
+                    self.sanitizer.after_step(self, input_diffs)
                 return self.epoch
         raise DataflowError(
             f"dataflow failed to quiesce at epoch {self.epoch}")
@@ -273,6 +280,8 @@ class Dataflow:
                 op.compact_below(bound)
         if self.cluster is not None:
             self.cluster.compact(bound)
+        if self.sanitizer is not None:
+            self.sanitizer.compact(before_epoch)
 
     def close(self) -> None:
         """Release backend resources (worker processes). Idempotent.
@@ -284,6 +293,9 @@ class Dataflow:
         cluster, self.cluster = self.cluster, None
         if cluster is not None:
             cluster.close()
+        sanitizer, self.sanitizer = self.sanitizer, None
+        if sanitizer is not None:
+            sanitizer.close()
 
     def set_budget(self, budget) -> None:
         """Attach (or with ``None`` detach) a budget to a live dataflow.

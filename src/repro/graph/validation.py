@@ -9,7 +9,7 @@ non-conformance, dangling endpoints, self-loops, and duplicate edges.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Tuple
 
 from repro.graph.property_graph import PropertyGraph
 

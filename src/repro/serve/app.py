@@ -32,7 +32,7 @@ from __future__ import annotations
 import asyncio
 import json
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.resilience import RetryPolicy, RunBudget
 from repro.errors import (

@@ -144,12 +144,28 @@ class StreamEngine:
         The resident dataflow is seeded immediately with the current
         accumulated edge multiset as its epoch 0, so a query registered
         mid-stream starts from the live graph, not from empty.
+
+        Registration gates on the static analyzer's stream-maintainability
+        pass (``GS-M4xx`` — retraction and compaction hazards; plus the
+        shard-safety pass on the process backend): a plan with
+        ERROR-severity findings raises
+        :class:`repro.errors.AnalysisError` *before* any dataflow is
+        seeded, so a continuous query that would leak memory or corrupt
+        retractions never starts serving.
         """
+        from repro.analyze import analyze_computation
+        from repro.errors import AnalysisError
+
         query = ContinuousQuery(name, params or {}, self.workers,
                                 self.backend, self.fault_plan)
         if query.signature in self.queries:
             raise RequestError(
                 f"query {query.signature} is already registered")
+        report = analyze_computation(
+            query.computation, workers=self.workers, stream=True,
+            concurrency=(self.backend == "process"))
+        if not report.ok:
+            raise AnalysisError(report)
         query.resident.advance(
             triples_to_input(self.edges, query.computation.directed))
         self.queries[query.signature] = query

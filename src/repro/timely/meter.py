@@ -19,7 +19,7 @@ individual views of a collection.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any
 
 from repro.timely.worker import shard_for
 

@@ -34,6 +34,10 @@ Invariants:
   *every* epoch, exactly the from-scratch result on the accumulated
   edges — and the per-epoch outputs and meter rows are byte-identical
   across the inline and process backends.
+* **sanitize** — a ``sanitize=True`` process-backend run (the shadow
+  sanitizer, :mod:`repro.verify.sanitize`) of a clean plan never fires
+  and leaves outputs and both metered counters byte-identical to an
+  unsanitized process run: the shadow observes, never perturbs.
 """
 
 from __future__ import annotations
@@ -41,7 +45,7 @@ from __future__ import annotations
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.core.executor import AnalyticsExecutor, ExecutionMode
 from repro.core.resilience import FaultPlan
@@ -60,7 +64,7 @@ from repro.verify.oracles import (
 
 #: Invariant names understood by :func:`build_check` / the repro replayer.
 INVARIANTS = ("oracle", "workers", "backend", "permutation", "checkpoint",
-              "tracing", "analysis", "stream")
+              "tracing", "analysis", "stream", "sanitize")
 
 
 @dataclass
@@ -83,9 +87,10 @@ class Mismatch:
 
 def _run(collection: MaterializedCollection, spec: AlgorithmSpec,
          params: dict, mode: ExecutionMode, workers: int = 1,
-         tracer=None, backend: str = "inline", **kwargs):
+         tracer=None, backend: str = "inline", sanitize: bool = False,
+         **kwargs):
     executor = AnalyticsExecutor(workers=workers, tracer=tracer,
-                                 backend=backend)
+                                 backend=backend, sanitize=sanitize)
     return executor.run_on_collection(
         spec.computation(params), collection, mode=mode,
         keep_outputs=True, cost_metric="work", **kwargs)
@@ -434,6 +439,49 @@ def check_stream(collection: MaterializedCollection, spec: AlgorithmSpec,
     return None
 
 
+# -- shadow sanitizer --------------------------------------------------------
+
+
+def check_sanitize(collection: MaterializedCollection, spec: AlgorithmSpec,
+                   params: dict, workers: int = 2) -> Optional[Mismatch]:
+    """The shadow sanitizer observes, never fires, never perturbs.
+
+    A ``sanitize=True`` run of an analyzer-clean plan on the process
+    backend must complete without :class:`~repro.errors.SanitizerError`
+    (the backends really are observationally equal, so the shadow diff
+    finds nothing) and must leave per-view outputs, ``total_work``, and
+    ``parallel_time`` byte-identical to an unsanitized process run — the
+    shadow executes on its own meter and trace sinks.
+    """
+    from repro.errors import SanitizerError
+
+    check = {"invariant": "sanitize", "workers": workers}
+    plain = _run(collection, spec, params, ExecutionMode.DIFF_ONLY,
+                 workers=workers, backend="process")
+    try:
+        shadowed = _run(collection, spec, params, ExecutionMode.DIFF_ONLY,
+                        workers=workers, backend="process", sanitize=True)
+    except SanitizerError as error:
+        return Mismatch(
+            "sanitize", spec.name,
+            f"shadow sanitizer fired on a clean plan: {error}", check=check)
+    if (shadowed.total_work, shadowed.total_parallel_time) != \
+            (plain.total_work, plain.total_parallel_time):
+        return Mismatch(
+            "sanitize", spec.name,
+            f"counters changed under sanitize: work "
+            f"{plain.total_work}->{shadowed.total_work}, parallel time "
+            f"{plain.total_parallel_time}->{shadowed.total_parallel_time}",
+            check=check)
+    for index in range(collection.num_views):
+        if canonical_diff(plain.views[index].output) != \
+                canonical_diff(shadowed.views[index].output):
+            return Mismatch("sanitize", spec.name,
+                            "outputs changed under sanitize",
+                            view=collection.view_names[index], check=check)
+    return None
+
+
 # -- dispatch for shrink / replay --------------------------------------------
 
 
@@ -475,5 +523,9 @@ def build_check(spec: AlgorithmSpec, params: dict, check: Dict[str, Any]
         workers = int(check.get("workers", 2))
         return lambda collection: check_stream(
             collection, spec, params, backends=backends, workers=workers)
+    if invariant == "sanitize":
+        workers = int(check.get("workers", 2))
+        return lambda collection: check_sanitize(
+            collection, spec, params, workers=workers)
     raise GraphsurgeError(f"unknown invariant {invariant!r}; expected one "
                           f"of {INVARIANTS}")

@@ -4,7 +4,8 @@ Per iteration the runner generates one seeded case, runs **every**
 selected algorithm under **every** :class:`ExecutionMode` against its
 oracle, then runs the metamorphic battery (worker invariance, backend
 invariance, view-order permutation, checkpoint/kill/resume, tracing
-on/off, static-analyzer stability) for one rotating algorithm. The first violated check is
+on/off, static-analyzer stability, streaming equivalence, shadow
+sanitizer) for one rotating algorithm. The first violated check is
 shrunk to a minimal collection and written as a replayable repro file
 that also records the plan's analyzer findings.
 
@@ -30,6 +31,7 @@ from repro.verify.invariants import (
     check_checkpoint,
     check_oracle,
     check_permutation,
+    check_sanitize,
     check_stream,
     check_tracing,
     check_workers,
@@ -150,6 +152,7 @@ def run_fuzz(config: FuzzConfig,
                                        perm_seed=rng.randrange(2 ** 16)),
                 lambda: check_stream(case.collection, spec, params,
                                      backends=config.backends),
+                lambda: check_sanitize(case.collection, spec, params),
             )
             for run_check in battery:
                 mismatch = run_check()

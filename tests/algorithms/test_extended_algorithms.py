@@ -10,7 +10,6 @@ from repro.algorithms.reference import (
     reference_triangles,
 )
 from repro.core.executor import AnalyticsExecutor, ExecutionMode
-from repro.graph.edge_stream import EdgeStream
 from tests.algorithms.test_against_reference import churn_collection, stream_of
 from tests.conftest import random_simple_digraph
 

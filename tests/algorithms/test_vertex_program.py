@@ -4,13 +4,11 @@ import pytest
 
 from repro.algorithms import (
     Bfs,
-    BellmanFord,
     ClusteringCoefficient,
     VertexBfs,
     VertexProgram,
     VertexSssp,
     VertexWcc,
-    Wcc,
 )
 from repro.algorithms.reference import (
     reference_bfs,

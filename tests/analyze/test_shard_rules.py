@@ -1,0 +1,297 @@
+"""Planted-defect battery for the shard-safety rules (GS-S3xx).
+
+Every rule gets a trigger (the hazard fires) and a near-miss (the
+closest safe shape stays silent). The pass is opt-in, so the battery
+also pins that a default ``analyze(df)`` never reports a GS-S3xx
+finding — that contract keeps the corpus tests and the fuzz invariant
+green without every plan opting in.
+"""
+
+import threading
+
+from repro.analyze import analyze
+from repro.differential import Dataflow
+
+
+class _Unpicklable:
+    """Deterministically fails any pickle round-trip."""
+
+    def __reduce__(self):
+        raise TypeError("deliberately unpicklable")
+
+
+def lint(attach, **kwargs):
+    """Build a one-operator dataflow via ``attach(edges)`` and analyze it
+    with the shard-safety pass enabled."""
+    df = Dataflow()
+    edges = df.new_input("edges")
+    df.capture(attach(edges), "out")
+    return analyze(df, concurrency=True, **kwargs)
+
+
+def rules_of(report):
+    return {finding.rule for finding in report.findings}
+
+
+def findings_for(report, rule):
+    return [f for f in report.findings if f.rule == rule]
+
+
+class TestProcessLocalCapture:
+    """GS-S301: locks, files, RNGs, generators in closures."""
+
+    def test_trigger_captured_lock(self):
+        lock = threading.Lock()
+
+        def guarded(rec):
+            with lock:
+                return rec
+
+        report = lint(lambda edges: edges.map(guarded))
+        hits = findings_for(report, "GS-S301")
+        assert hits
+        assert hits[0].severity.value == "error"
+        assert "lock" in hits[0].message
+        assert "'lock'" in hits[0].message
+
+    def test_trigger_captured_rng_instance(self):
+        import random
+        rng = random.Random(7)
+
+        def jitter(key, vals):
+            return [sum(vals) if rng else 0]
+
+        report = lint(lambda edges: edges.reduce(jitter))
+        hits = findings_for(report, "GS-S301")
+        assert hits and "RNG instance" in hits[0].message
+
+    def test_trigger_captured_generator(self):
+        gen = iter(x for x in range(10))
+
+        def taker(rec):
+            return (rec, next(gen))
+
+        report = lint(lambda edges: edges.map(taker))
+        hits = findings_for(report, "GS-S301")
+        assert hits and "live generator" in hits[0].message
+
+    def test_trigger_fires_on_any_role_not_just_shippable(self):
+        lock = threading.Lock()
+        report = lint(lambda edges: edges.filter(
+            lambda rec: lock is not None))
+        assert findings_for(report, "GS-S301")
+
+    def test_near_miss_value_computed_before_capture(self):
+        import random
+        offset = random.Random(7).randint(0, 10)  # plain int by run time
+        report = lint(lambda edges: edges.map(lambda rec: (rec, offset)))
+        assert "GS-S301" not in rules_of(report)
+
+
+class TestShippableMutation:
+    """GS-S302: reduce/join kernels writing closed-over state."""
+
+    def test_trigger_reduce_mutating_closed_over_dict(self):
+        memo = {}
+
+        def logic(key, vals):
+            memo[key] = len(vals)
+            return [memo[key]]
+
+        report = lint(lambda edges: edges.reduce(logic))
+        hits = findings_for(report, "GS-S302")
+        assert hits
+        assert hits[0].severity.value == "error"
+        assert "forked worker" in hits[0].message
+
+    def test_near_miss_same_mutation_in_a_map_is_not_shippable(self):
+        # A map runs on the coordinator under backend='process'; the
+        # base GS-U204 rule still flags the write, but the shard pass
+        # must not double-report it as a worker-divergence hazard.
+        memo = {}
+
+        def tag(rec):
+            memo[rec] = rec
+            return rec
+
+        report = lint(lambda edges: edges.map(tag))
+        assert "GS-S302" not in rules_of(report)
+        assert "GS-U204" in rules_of(report)
+
+    def test_near_miss_local_accumulator(self):
+        def logic(key, vals):
+            acc = {}
+            acc[key] = sum(vals)
+            return [acc[key]]
+
+        report = lint(lambda edges: edges.reduce(logic))
+        assert "GS-S302" not in rules_of(report)
+
+
+class TestHashDerivedKeys:
+    """GS-S303: hash() feeding records in keyed roles."""
+
+    def test_trigger_hash_in_map(self):
+        report = lint(lambda edges: edges.map(
+            lambda rec: (hash(str(rec)) % 5, rec)))
+        hits = findings_for(report, "GS-S303")
+        assert hits
+        assert "PYTHONHASHSEED" in hits[0].message
+        assert "stable_hash" in hits[0].hint
+
+    def test_near_miss_hash_in_filter_predicate(self):
+        # filter only drops records; its result never becomes a key.
+        report = lint(lambda edges: edges.filter(
+            lambda rec: hash(str(rec)) % 2 == 0))
+        assert "GS-S303" not in rules_of(report)
+
+    def test_near_miss_stable_hash(self):
+        from repro.timely import stable_hash
+
+        report = lint(lambda edges: edges.map(
+            lambda rec: (stable_hash(rec) % 5, rec)))
+        assert "GS-S303" not in rules_of(report)
+
+
+class TestPickleProbe:
+    """GS-S304: captured kernel state must survive a pickle round-trip."""
+
+    def test_trigger_unpicklable_capture_in_reduce(self):
+        poison = _Unpicklable()
+
+        def logic(key, vals):
+            return [len(vals) if poison else 0]
+
+        report = lint(lambda edges: edges.reduce(logic))
+        hits = findings_for(report, "GS-S304")
+        assert hits
+        assert hits[0].severity.value == "error"
+        assert "fails a pickle round-trip" in hits[0].message
+        assert "WorkerFailedError" in hits[0].message
+        assert "'poison'" in hits[0].message
+
+    def test_near_miss_picklable_capture(self):
+        allow = frozenset({1, 2, 3})
+
+        def logic(key, vals):
+            return [v for v in vals if v in allow]
+
+        report = lint(lambda edges: edges.reduce(logic))
+        assert "GS-S304" not in rules_of(report)
+
+    def test_near_miss_unpicklable_capture_outside_shippable_role(self):
+        # The probe models the exchange channels; a map callable never
+        # ships, so its captures need not pickle.
+        poison = _Unpicklable()
+        report = lint(lambda edges: edges.map(
+            lambda rec: (rec, poison is not None)))
+        assert "GS-S304" not in rules_of(report)
+
+    def test_near_miss_captured_helper_function_is_code_not_data(self):
+        def helper(v):
+            return v + 1
+
+        report = lint(lambda edges: edges.reduce(
+            lambda key, vals: [helper(len(vals))]))
+        assert "GS-S304" not in rules_of(report)
+
+
+class TestSnapshotReads:
+    """GS-S305: shippable kernels reading captured mutable containers."""
+
+    def test_trigger_reduce_reading_closed_over_list(self):
+        weights = [1.0, 0.5]
+
+        def logic(key, vals):
+            return [sum(vals) * weights[0]]
+
+        report = lint(lambda edges: edges.reduce(logic))
+        hits = findings_for(report, "GS-S305")
+        assert hits
+        assert hits[0].severity.value == "warning"
+        assert "fork-time snapshot" in hits[0].message
+
+    def test_near_miss_immutable_capture(self):
+        weights = (1.0, 0.5)
+
+        def logic(key, vals):
+            return [sum(vals) * weights[0]]
+
+        report = lint(lambda edges: edges.reduce(logic))
+        assert "GS-S305" not in rules_of(report)
+
+    def test_near_miss_mutable_capture_in_map(self):
+        weights = [1.0, 0.5]
+        report = lint(lambda edges: edges.map(
+            lambda rec: (rec, weights[0])))
+        assert "GS-S305" not in rules_of(report)
+
+    def test_suppression_on_def_line(self):
+        table = {"a": 1}
+
+        def logic(key, vals):  # analyze: ignore[GS-S305]
+            return [table.get(key, 0)]
+
+        report = lint(lambda edges: edges.reduce(logic))
+        assert "GS-S305" not in rules_of(report)
+
+
+class TestWorkerIo:
+    """GS-S306: console/file I/O inside shippable kernels."""
+
+    def test_trigger_print_in_reduce(self):
+        def logic(key, vals):
+            print(key, vals)
+            return [len(vals)]
+
+        report = lint(lambda edges: edges.reduce(logic))
+        hits = findings_for(report, "GS-S306")
+        assert hits
+        assert hits[0].severity.value == "warning"
+        assert "print()" in hits[0].message
+        assert "inspect()" in hits[0].hint
+
+    def test_trigger_sys_stream_write(self):
+        import sys
+
+        def logic(key, vals):
+            sys.stderr.write(str(key))
+            return [len(vals)]
+
+        report = lint(lambda edges: edges.reduce(logic))
+        hits = findings_for(report, "GS-S306")
+        assert hits and "sys." in hits[0].message
+
+    def test_near_miss_print_in_inspect_tap(self):
+        # inspect taps run on the coordinator — I/O is their job.
+        report = lint(lambda edges: edges.inspect(print))
+        assert "GS-S306" not in rules_of(report)
+
+    def test_near_miss_print_in_map(self):
+        report = lint(lambda edges: edges.map(
+            lambda rec: (print(rec), rec)[1]))
+        assert "GS-S306" not in rules_of(report)
+
+
+class TestPassIsOptIn:
+    def test_default_analyze_reports_no_shard_findings(self):
+        memo = {}
+
+        def logic(key, vals):
+            memo[key] = sum(vals)
+            print(key)
+            return [hash(key) + memo[key]]
+
+        df = Dataflow()
+        edges = df.new_input("edges")
+        df.capture(edges.reduce(logic), "out")
+        report = analyze(df)
+        assert not any(rule.startswith("GS-S3") for rule in rules_of(report))
+
+    def test_whole_rule_ignore_list(self):
+        weights = [1.0]
+        report = lint(lambda edges: edges.reduce(
+            lambda key, vals: [sum(vals) * weights[0]]),
+            ignore=("GS-S305",))
+        assert "GS-S305" not in rules_of(report)
+        assert report.suppressed >= 1

@@ -44,6 +44,44 @@ class TestNondeterministicCalls:
         hits = findings_for(report, "GS-U201")
         assert hits and "id()" in hits[0].message
 
+    def test_trigger_wall_clock(self):
+        import time
+
+        report = lint(lambda edges: edges.map(
+            lambda rec: (rec, time.time())))
+        hits = findings_for(report, "GS-U201")
+        assert hits and "time.time()" in hits[0].message
+
+    def test_trigger_monotonic_clock(self):
+        import time
+
+        report = lint(lambda edges: edges.map(
+            lambda rec: (rec, time.monotonic())))
+        assert findings_for(report, "GS-U201")
+
+    def test_trigger_os_urandom(self):
+        import os
+
+        report = lint(lambda edges: edges.map(
+            lambda rec: (rec, os.urandom(4))))
+        hits = findings_for(report, "GS-U201")
+        assert hits and "os.urandom()" in hits[0].message
+
+    def test_trigger_uuid4(self):
+        import uuid
+
+        report = lint(lambda edges: edges.map(
+            lambda rec: (rec, str(uuid.uuid4()))))
+        assert findings_for(report, "GS-U201")
+
+    def test_near_miss_id_in_inspect_tap(self):
+        # Identity in a debug-only tap never reaches emitted records.
+        def tap(rec):
+            print(id(rec), rec)
+
+        report = lint(lambda edges: edges.inspect(tap))
+        assert "GS-U201" not in rules_of(report)
+
     def test_near_miss_plain_arithmetic(self):
         report = lint(lambda edges: edges.map(
             lambda rec: (rec[0], max(rec[1], 0) + 1)))

@@ -13,7 +13,6 @@ from repro.core.diff_stream import (
     view_sizes_from_diffs,
 )
 from repro.core.ebm import (
-    EdgeBooleanMatrix,
     build_ebm,
     build_ebm_from_memberships,
 )

@@ -6,7 +6,6 @@ needs so quiet keys — and the capture's per-epoch diff log — stop
 growing with the number of epochs ever processed.
 """
 
-import pytest
 
 from repro.differential import Dataflow
 from repro.differential.trace import Trace

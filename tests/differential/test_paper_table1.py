@@ -11,7 +11,6 @@ number of per-epoch differences stays constant as unrelated graph content
 grows (the paper's "billions of z edges" argument).
 """
 
-import pytest
 
 from repro.differential import Dataflow
 

@@ -7,7 +7,6 @@ from repro.gvdl.ast import (
     AggregateViewStmt,
     And,
     BoolLiteral,
-    Comparison,
     FilteredViewStmt,
     GroupByPredicates,
     GroupByProperties,

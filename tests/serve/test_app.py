@@ -2,7 +2,6 @@
 
 import asyncio
 
-import pytest
 
 from repro.serve.app import ServeApp
 

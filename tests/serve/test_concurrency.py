@@ -8,7 +8,6 @@ must fill the cache exactly once (single-flight coalescing).
 import asyncio
 import copy
 
-import pytest
 
 from repro.core.system import Graphsurge
 from repro.serve.app import ServeApp

@@ -3,11 +3,10 @@
 import asyncio
 import json
 
-import pytest
 
 from repro.core.resilience import load_checkpoint
 from repro.serve.app import ServeApp
-from repro.serve.lifecycle import ServerLifecycle, ServerState, run_server
+from repro.serve.lifecycle import ServerLifecycle, run_server
 
 from tests.serve.conftest import HIST_GVDL, call
 

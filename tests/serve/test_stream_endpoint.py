@@ -2,7 +2,6 @@
 
 import asyncio
 
-import pytest
 
 from tests.serve.conftest import call
 

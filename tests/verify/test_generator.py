@@ -73,7 +73,6 @@ class TestWindowAndGvdl:
 
     @pytest.mark.parametrize("seed", range(5))
     def test_gvdl_text_is_replayable(self, seed):
-        from repro.core.system import Graphsurge
 
         collection, text = random_gvdl_collection(seed)
         assert text.startswith("create view collection")

@@ -5,11 +5,10 @@ import json
 import pytest
 
 from repro.algorithms import Wcc
-from repro.core.executor import ExecutionMode
 from repro.errors import StoreError
 from repro.verify.generator import random_churn_collection
 from repro.verify.invariants import build_check
-from repro.verify.oracles import ALGORITHMS, AlgorithmSpec
+from repro.verify.oracles import AlgorithmSpec
 from repro.verify.replay import (
     ReproFile,
     load_repro,
